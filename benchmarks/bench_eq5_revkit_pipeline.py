@@ -1,0 +1,93 @@
+"""EQ5 — the RevKit command pipeline (Sec. VI, Eq. (5)).
+
+Paper artifact: the command script
+
+    revgen --hwb 4; tbs; revsimp; rptm; tpar; ps -c
+
+which generates the hidden-weighted-bit function on 4 inputs,
+synthesizes it with transformation-based synthesis, simplifies the
+cascade, maps to Clifford+T with relative-phase Toffolis, optimizes
+the T-count with T-par, and prints statistics.
+
+Reproduced rows: the per-stage gate statistics.  The paper prints no
+absolute numbers for this pipeline, so the shape obligations are:
+every stage preserves the function, revsimp never grows the cascade,
+rptm emits pure Clifford+T, and tpar strictly reduces T-count.
+"""
+
+from conftest import report
+
+from repro.boolean.permutation import BitPermutation
+from repro.core.statistics import circuit_statistics
+from repro.revkit import RevKitShell
+
+
+def run_pipeline():
+    shell = RevKitShell()
+    shell.run("revgen --hwb 4; tbs; revsimp; rptm; tpar; ps -c")
+    return shell
+
+
+def test_eq5_pipeline(benchmark):
+    shell = benchmark(run_pipeline)
+
+    # re-run stage by stage for the report
+    stage = RevKitShell()
+    stage.execute("revgen --hwb 4")
+    stage.execute("tbs")
+    tbs_gates = len(stage.reversible)
+    stage.execute("revsimp")
+    simp_gates = len(stage.reversible)
+    assert stage.reversible.permutation() == BitPermutation.hidden_weighted_bit(4)
+    stage.execute("rptm")
+    mapped = stage.quantum
+    t_before = mapped.t_count()
+    stage.execute("tpar")
+    t_after = stage.quantum.t_count()
+    stats = circuit_statistics(stage.quantum)
+
+    report(
+        "EQ5: revgen --hwb 4; tbs; revsimp; rptm; tpar; ps -c",
+        [
+            ("tbs: MCT gates", tbs_gates),
+            ("revsimp: MCT gates", simp_gates),
+            ("revsimp preserves hwb4", True),
+            ("rptm: Clifford+T?", mapped.is_clifford_t()),
+            ("rptm: qubits", mapped.num_qubits),
+            ("rptm: T-count", t_before),
+            ("tpar: T-count", t_after),
+            ("final gates", stats.num_gates),
+            ("final depth", stats.depth),
+            ("final T-depth", stats.t_depth),
+            ("final 2q gates", stats.two_qubit_count),
+        ],
+    )
+    assert simp_gates <= tbs_gates
+    assert mapped.is_clifford_t()
+    assert t_after < t_before
+    assert shell.quantum.is_clifford_t()
+
+
+def test_eq5_pipeline_other_generators(benchmark):
+    def _run():
+        """Same pipeline over the other revgen functions: the invariants
+        hold for every benchmark function, not just hwb4."""
+        rows = []
+        for spec in ("--hwb 5", "--adder 4 --const 3", "--rotate 4", "--gray 4",
+                     "--random 4 --seed 11"):
+            shell = RevKitShell()
+            shell.execute(f"revgen {spec}")
+            shell.execute("tbs")
+            shell.execute("revsimp")
+            assert "matches specification: True" in shell.execute("simulate")
+            shell.execute("rptm")
+            before = shell.quantum.t_count()
+            shell.execute("tpar")
+            after = shell.quantum.t_count()
+            rows.append(
+                (f"revgen {spec}", f"MCT={len(shell.reversible)} "
+                 f"T: {before} -> {after}")
+            )
+            assert after <= before
+        report("EQ5 extension: pipeline across generators", rows)
+    benchmark.pedantic(_run, rounds=1, iterations=1)

@@ -1,0 +1,82 @@
+"""CLAIM-ESOP — ancilla-free synthesis scales to ~25 variables (Sec. V/IX).
+
+Paper claim: "we only considered simple reversible synthesis methods
+which do not require additional ancilla qubits ... this limits their
+application to small functions with up to about 25 variables"; in [55]
+ESOP-based synthesis was applied up to n = 25.
+
+Reproduced series: ESOP-based synthesis of inner-product bent
+functions from 4 to 24 variables — runtime and gate count stay benign
+(the oracle for IP on 2k variables is exactly k Toffolis), while the
+*truth-table size* (the 2^n bottleneck the paper identifies) grows
+exponentially.
+"""
+
+import time
+
+from conftest import report
+
+from repro.boolean.truth_table import TruthTable
+from repro.synthesis.esop_based import esop_synthesis
+
+
+def synthesize_ip(half_vars):
+    table = TruthTable.inner_product(half_vars)
+    return esop_synthesis(table, effort="fast")
+
+
+def test_esop_scaling(benchmark):
+    benchmark(synthesize_ip, 6)
+
+    rows = [
+        ("paper: practical limit", "~25 variables (explicit tables)"),
+        ("series: vars -> gates / lines / build time", ""),
+    ]
+    timings = []
+    for half_vars in (2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12):
+        n = 2 * half_vars
+        start = time.perf_counter()
+        circuit = synthesize_ip(half_vars)
+        elapsed = time.perf_counter() - start
+        timings.append((n, elapsed))
+        rows.append(
+            (
+                f"n = {n:2d}",
+                f"gates = {len(circuit):2d}  lines = {circuit.num_lines:2d}"
+                f"  table = 2^{n} bits  t = {elapsed * 1000:8.2f} ms",
+            )
+        )
+        assert len(circuit) == half_vars  # one MCT per IP cube
+    report("CLAIM-ESOP: ancilla-free synthesis scaling", rows)
+
+    # the 24-variable point must complete (the paper's ~25-var limit)
+    assert timings[-1][0] == 24
+    # and the cost clearly grows with the 2^n table, demonstrating why
+    # the paper calls explicit methods limited
+    assert timings[-1][1] > timings[0][1]
+
+
+def test_esop_random_functions_quality(benchmark):
+    def _run():
+        """Cube-count quality across effort levels on dense functions."""
+        import random
+
+        rng = random.Random(3)
+        rows = []
+        for n in (4, 6, 8):
+            table = TruthTable(n, rng.getrandbits(1 << n))
+            from repro.boolean.esop import minimize_esop, minterm_cover
+
+            naive = len(minterm_cover(table))
+            fast = len(minimize_esop(table, effort="fast"))
+            medium = len(minimize_esop(table, effort="medium"))
+            rows.append(
+                (
+                    f"n = {n}",
+                    f"minterms = {naive:3d}  fast = {fast:3d}  "
+                    f"medium = {medium:3d}",
+                )
+            )
+            assert medium <= naive
+        report("CLAIM-ESOP extension: cover quality vs effort", rows)
+    benchmark.pedantic(_run, rounds=1, iterations=1)

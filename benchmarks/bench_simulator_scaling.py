@@ -1,0 +1,121 @@
+"""CLAIM-SIM — classical simulation reach (Sec. I).
+
+Paper claims in shape: full state-vector simulation is exponential in
+qubit count (feasible to ~45 qubits on supercomputers, ~30 on a
+workstation; here: laptop-scale widths), while restricted circuit
+classes (low-depth / Clifford-dominated, cf. [24], [72]) simulate far
+beyond that — our stabilizer engine handles hundreds of qubits.
+
+Reproduced series: statevector seconds-per-layer vs qubit count
+(exponential growth), stabilizer engine at widths impossible for the
+statevector, and the verification cross-check between both engines.
+"""
+
+import time
+
+from conftest import report
+
+from repro.core.circuit import QuantumCircuit
+from repro.simulator.stabilizer import StabilizerSimulator
+from repro.simulator.statevector import Statevector, StatevectorSimulator
+
+
+def layered_circuit(num_qubits, layers=3):
+    circ = QuantumCircuit(num_qubits)
+    for _ in range(layers):
+        for q in range(num_qubits):
+            circ.h(q)
+        for q in range(num_qubits - 1):
+            circ.cx(q, q + 1)
+    return circ
+
+
+def test_statevector_scaling(benchmark):
+    benchmark(
+        lambda: StatevectorSimulator().statevector(layered_circuit(12))
+    )
+
+    rows = [("paper: cost doubles per added qubit", "")]
+    timings = []
+    for n in (8, 10, 12, 14, 16, 18):
+        circ = layered_circuit(n)
+        start = time.perf_counter()
+        StatevectorSimulator().statevector(circ)
+        elapsed = time.perf_counter() - start
+        per_gate = elapsed / len(circ)
+        timings.append((n, elapsed))
+        rows.append(
+            (
+                f"n = {n:2d}",
+                f"total = {elapsed * 1000:9.2f} ms"
+                f"  per gate = {per_gate * 1e6:9.1f} us"
+                f"  state = 2^{n} amplitudes",
+            )
+        )
+    report("CLAIM-SIM: statevector scaling", rows)
+    # exponential shape: 18 qubits must cost much more than 8 qubits
+    assert timings[-1][1] > 4 * timings[0][1]
+
+
+def test_stabilizer_reach(benchmark):
+    def _run():
+        """The Clifford engine runs widths the statevector never could."""
+        rows = [("paper: restricted classes simulate beyond 49 qubits", "")]
+        for n in (25, 50, 100, 200):
+            circ = QuantumCircuit(n, n)
+            circ.h(0)
+            for q in range(n - 1):
+                circ.cx(q, q + 1)
+            for q in range(n):
+                circ.measure(q, q)
+            start = time.perf_counter()
+            counts = StabilizerSimulator(seed=1).run(circ, shots=3)
+            elapsed = time.perf_counter() - start
+            rows.append(
+                (f"n = {n:3d}", f"GHZ sampled in {elapsed * 1000:8.1f} ms")
+            )
+            for outcome in counts:
+                assert outcome in (0, (1 << n) - 1)
+        report("CLAIM-SIM: stabilizer (CHP) reach", rows)
+
+
+    benchmark.pedantic(_run, rounds=1, iterations=1)
+def test_engines_agree(benchmark):
+    def _run():
+        """Verification cross-check (Sec. IX): both engines must agree on
+        Clifford circuits — the 'verify the synthesized circuit' problem."""
+        import random
+
+        rng = random.Random(0)
+        agreements = 0
+        trials = 6
+        for trial in range(trials):
+            n = 4
+            circ = QuantumCircuit(n, n)
+            for _ in range(30):
+                r = rng.random()
+                if r < 0.4:
+                    a, b = rng.sample(range(n), 2)
+                    circ.cx(a, b)
+                else:
+                    getattr(circ, rng.choice(["h", "s", "x", "z"]))(
+                        rng.randrange(n)
+                    )
+            for q in range(n):
+                circ.measure(q, q)
+            shots = 600
+            stab = StabilizerSimulator(seed=trial).run(circ, shots=shots)
+            sv = StatevectorSimulator(seed=trial).run(circ, shots=shots).counts
+            support_match = set(stab) == set(sv)
+            close = all(
+                abs(stab.get(k, 0) - sv.get(k, 0)) / shots < 0.12
+                for k in set(stab) | set(sv)
+            )
+            if support_match and close:
+                agreements += 1
+        report(
+            "CLAIM-SIM: engine cross-verification",
+            [("circuits agreeing (support + freq)", f"{agreements}/{trials}")],
+        )
+        assert agreements == trials
+    benchmark.pedantic(_run, rounds=1, iterations=1)

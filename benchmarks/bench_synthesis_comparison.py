@@ -1,0 +1,116 @@
+"""CLAIM-SYNTH — the reversible-synthesis algorithm portfolio (Sec. V).
+
+Paper survey claims to check in shape:
+  * transformation-based synthesis works directly on reversible truth
+    tables; the bidirectional variant is typically smaller [43];
+  * decomposition-based synthesis bounds the cascade by 2n
+    single-target gates [47];
+  * exact synthesis gives the optimum but only for tiny widths [49];
+  * heuristic results carry an optimality gap that exact search
+    exposes.
+
+Reproduced series: gate counts and runtimes of tbs / bidirectional /
+dbs / exact over random 3-line permutations and named benchmarks.
+"""
+
+import statistics
+import time
+
+from conftest import report
+
+from repro.boolean.permutation import BitPermutation
+from repro.revkit import generators
+from repro.synthesis.decomposition import decomposition_based_synthesis
+from repro.synthesis.exact import exact_synthesis
+from repro.synthesis.transformation import (
+    bidirectional_synthesis,
+    transformation_based_synthesis,
+)
+
+
+def test_synthesis_comparison_random(benchmark):
+    benchmark(
+        transformation_based_synthesis, BitPermutation.random(4, seed=0)
+    )
+
+    trials = 25
+    sizes = {"tbs": [], "bidir": [], "dbs": [], "exact": []}
+    for seed in range(trials):
+        perm = BitPermutation.random(3, seed=seed)
+        circuits = {
+            "tbs": transformation_based_synthesis(perm),
+            "bidir": bidirectional_synthesis(perm),
+            "dbs": decomposition_based_synthesis(perm),
+            "exact": exact_synthesis(perm),
+        }
+        for name, circuit in circuits.items():
+            assert circuit.permutation() == perm, (name, seed)
+            sizes[name].append(len(circuit))
+
+    rows = [("paper: exact <= heuristics; bidir <= tbs on average", "")]
+    for name in ("exact", "bidir", "tbs", "dbs"):
+        rows.append(
+            (
+                name,
+                f"mean gates = {statistics.mean(sizes[name]):5.2f}  "
+                f"max = {max(sizes[name]):2d}",
+            )
+        )
+    gap_bidir = statistics.mean(sizes["bidir"]) / statistics.mean(sizes["exact"])
+    rows.append(("optimality gap (bidir/exact)", f"{gap_bidir:.2f}x"))
+    report("CLAIM-SYNTH: algorithm comparison, random 3-line functions", rows)
+
+    assert statistics.mean(sizes["exact"]) <= statistics.mean(sizes["bidir"])
+    assert statistics.mean(sizes["bidir"]) <= statistics.mean(sizes["tbs"])
+    # every exact result is a true lower bound per instance
+    for a, b in zip(sizes["exact"], sizes["tbs"]):
+        assert a <= b
+
+
+def test_synthesis_comparison_named(benchmark):
+    def _run():
+        """Named benchmarks at growing width (runtime shape: tbs/dbs scale
+        with 2^n; exact only exists at n = 3)."""
+        rows = [("benchmark", "tbs gates/ms | bidir | dbs")]
+        for name, perm in (
+            ("hwb3", generators.hwb(3)),
+            ("hwb4", generators.hwb(4)),
+            ("hwb5", generators.hwb(5)),
+            ("hwb6", generators.hwb(6)),
+            ("adder5+7", generators.modular_adder(5, 7)),
+            ("gray6", generators.gray_code(6)),
+        ):
+            cells = []
+            for algo in (
+                transformation_based_synthesis,
+                bidirectional_synthesis,
+                decomposition_based_synthesis,
+            ):
+                start = time.perf_counter()
+                circuit = algo(perm)
+                elapsed = (time.perf_counter() - start) * 1000
+                assert circuit.permutation() == perm
+                cells.append(f"{len(circuit):3d}/{elapsed:7.1f}ms")
+            rows.append((name, " | ".join(cells)))
+        report("CLAIM-SYNTH: named benchmarks", rows)
+
+
+    benchmark.pedantic(_run, rounds=1, iterations=1)
+def test_dbs_gate_bound(benchmark):
+    def _run():
+        """DBS produces at most 2n single-target gates -> the MCT count is
+        bounded by 2n times the worst ESOP size; check the observable
+        2n-single-target bound indirectly via distinct targets sequence."""
+        from repro.synthesis.decomposition import young_subgroup_decomposition
+
+        rows = []
+        for n in (2, 3, 4):
+            worst = 0
+            for seed in range(10):
+                perm = BitPermutation.random(n, seed=seed)
+                lefts, rights = young_subgroup_decomposition(perm)
+                worst = max(worst, len(lefts) + len(rights))
+            rows.append((f"n = {n}", f"max single-target gates = {worst} <= {2 * n}"))
+            assert worst <= 2 * n
+        report("CLAIM-SYNTH: Young-subgroup 2n bound", rows)
+    benchmark.pedantic(_run, rounds=1, iterations=1)

@@ -1,0 +1,16 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench prints the paper-vs-measured rows it regenerates (visible
+with ``pytest benchmarks/ --benchmark-only -s``) and feeds one
+representative kernel to pytest-benchmark for timing.
+"""
+
+import pytest
+
+
+def report(title, rows):
+    """Print a small aligned table of (label, value) pairs."""
+    print(f"\n=== {title} ===")
+    width = max((len(str(label)) for label, _ in rows), default=0)
+    for label, value in rows:
+        print(f"  {str(label):<{width}}  {value}")

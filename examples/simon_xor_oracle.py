@@ -1,0 +1,43 @@
+"""Simon's problem — exercising the XOR-oracle compilation path.
+
+The hidden shift examples use *phase* oracles; Simon's algorithm needs
+the other oracle style of Sec. V — the Bennett form
+U|x>|y> = |x>|y ^ f(x)> — which ESOP-based reversible synthesis
+compiles automatically from the 2-to-1 function's truth tables.
+
+Run:  python examples/simon_xor_oracle.py
+"""
+
+from repro.algorithms.simon import SimonInstance, simon_circuit, solve_simon
+
+
+def main():
+    instance = SimonInstance.random(4, seed=7)
+    print(f"hidden XOR mask: s = {instance.secret:04b}")
+    print(f"promise verified (f(x) = f(x ^ s), 2-to-1): "
+          f"{instance.verify_promise()}")
+
+    circuit = simon_circuit(instance)
+    ops = circuit.count_ops()
+    print(
+        f"\ncompiled sampling circuit: {circuit.num_qubits} qubits "
+        f"({instance.function.num_vars} data + "
+        f"{circuit.num_qubits - instance.function.num_vars} oracle outputs)"
+    )
+    print(f"oracle gates: {ops}")
+
+    result = solve_simon(instance, seed=3)
+    print(f"\nsampled orthogonality equations (z . s = 0):")
+    for z in result.equations:
+        dot = bin(z & instance.secret).count("1") % 2
+        print(f"  z = {z:04b}   z.s = {dot}")
+    print(
+        f"\nrecovered s = {result.recovered:04b} with "
+        f"{result.quantum_queries} quantum queries "
+        f"(classical needs ~2^(n/2) = 4+ distinct collisions)"
+    )
+    assert result.success
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""repro — reproduction of "Programming Quantum Computers Using Design
+Automation" (Soeken, Häner, Roetteler, DATE 2018).
+
+Subpackages
+-----------
+``repro.core``
+    Quantum circuit IR: gates, circuits, statistics, OpenQASM, DAG.
+``repro.simulator``
+    Statevector, stabilizer (CHP), noisy (IBM-QE substitute) and
+    resource-counting backends.
+``repro.boolean``
+    Boolean function layer: truth tables, ESOPs, BDDs, XAG networks,
+    bent functions, permutations, Python-predicate compilation.
+``repro.synthesis``
+    Reversible logic synthesis: transformation-based, decomposition-
+    based, ESOP-based, BDD-based, LUT-based (LHRS), embeddings, exact
+    search, pebble games.
+``repro.mapping``
+    Toffoli-network to Clifford+T mapping (Barenco ladders,
+    relative-phase Toffolis).
+``repro.optimization``
+    revsimp gate cancellation and T-par phase folding.
+``repro.frameworks``
+    ProjectQ-compatible eDSL and Q# code generation.
+``repro.revkit``
+    The RevKit command shell (``revgen; tbs; revsimp; rptm; tpar; ps``).
+``repro.algorithms``
+    Hidden shift (the paper's running example), Deutsch–Jozsa,
+    Bernstein–Vazirani, Grover.
+"""
+
+__version__ = "1.0.0"
+
+from . import (
+    algorithms,
+    arith,
+    boolean,
+    core,
+    mapping,
+    optimization,
+    revkit,
+    simulator,
+    synthesis,
+)
+
+__all__ = [
+    "algorithms",
+    "arith",
+    "boolean",
+    "core",
+    "mapping",
+    "optimization",
+    "revkit",
+    "simulator",
+    "synthesis",
+    "__version__",
+]

@@ -1,0 +1,54 @@
+"""Quantum algorithms built on the compilation flow."""
+
+from .bernstein_vazirani import (
+    BernsteinVaziraniResult,
+    bernstein_vazirani_circuit,
+    linear_function,
+    solve_bernstein_vazirani,
+)
+from .deutsch_jozsa import (
+    DeutschJozsaResult,
+    deutsch_jozsa_circuit,
+    solve_deutsch_jozsa,
+)
+from .grover import (
+    GroverResult,
+    diffusion_circuit,
+    grover_circuit,
+    optimal_iterations,
+    solve_grover,
+)
+from .simon import SimonInstance, SimonResult, simon_circuit, solve_simon
+from .hidden_shift import (
+    HiddenShiftCircuit,
+    HiddenShiftResult,
+    deterministic_success_sweep,
+    hidden_shift_circuit,
+    phase_oracle_circuit,
+    solve_hidden_shift,
+)
+
+__all__ = [
+    "BernsteinVaziraniResult",
+    "bernstein_vazirani_circuit",
+    "linear_function",
+    "solve_bernstein_vazirani",
+    "DeutschJozsaResult",
+    "deutsch_jozsa_circuit",
+    "solve_deutsch_jozsa",
+    "GroverResult",
+    "diffusion_circuit",
+    "grover_circuit",
+    "optimal_iterations",
+    "solve_grover",
+    "SimonInstance",
+    "SimonResult",
+    "simon_circuit",
+    "solve_simon",
+    "HiddenShiftCircuit",
+    "HiddenShiftResult",
+    "deterministic_success_sweep",
+    "hidden_shift_circuit",
+    "phase_oracle_circuit",
+    "solve_hidden_shift",
+]

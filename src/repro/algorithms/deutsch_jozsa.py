@@ -1,0 +1,55 @@
+"""Deutsch–Jozsa on the same compilation flow.
+
+A second consumer of the automatic oracle compilation (the paper's
+Sec. I motivates the flow with oracle-based algorithms): given a
+promise that ``f`` is constant or balanced, one query to the
+ESOP-compiled phase oracle decides which, by measuring all-zeros iff
+``f`` is constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..boolean.truth_table import TruthTable
+from ..core.circuit import QuantumCircuit
+from ..simulator.statevector import StatevectorSimulator
+from .hidden_shift import phase_oracle_circuit
+
+
+@dataclass
+class DeutschJozsaResult:
+    verdict: str          # "constant" or "balanced"
+    measured: int
+    circuit: QuantumCircuit
+
+
+def deutsch_jozsa_circuit(table: TruthTable) -> QuantumCircuit:
+    """H^n . U_f(phase) . H^n . measure."""
+    n = table.num_vars
+    circuit = QuantumCircuit(n, n, name="deutsch-jozsa")
+    for q in range(n):
+        circuit.h(q)
+    circuit.compose(phase_oracle_circuit(table, n))
+    for q in range(n):
+        circuit.h(q)
+    for q in range(n):
+        circuit.measure(q, q)
+    return circuit
+
+
+def solve_deutsch_jozsa(
+    table: TruthTable, seed: Optional[int] = None
+) -> DeutschJozsaResult:
+    """Decide constant vs balanced with a single oracle query.
+
+    Raises ValueError if the promise is violated.
+    """
+    if not (table.is_constant() or table.is_balanced()):
+        raise ValueError("function is neither constant nor balanced")
+    circuit = deutsch_jozsa_circuit(table)
+    result = StatevectorSimulator(seed=seed).run(circuit, shots=1)
+    measured = result.most_frequent()
+    verdict = "constant" if measured == 0 else "balanced"
+    return DeutschJozsaResult(verdict, measured, circuit)

@@ -1,0 +1,17 @@
+"""Reversible arithmetic blocks (the Shor-workload substrate)."""
+
+from .adders import (
+    comparator,
+    constant_adder,
+    controlled_increment,
+    cuccaro_adder,
+    modular_constant_adder,
+)
+
+__all__ = [
+    "comparator",
+    "constant_adder",
+    "controlled_increment",
+    "cuccaro_adder",
+    "modular_constant_adder",
+]

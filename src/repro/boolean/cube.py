@@ -1,0 +1,143 @@
+"""Cubes — product terms over Boolean variables.
+
+A :class:`Cube` is a conjunction of literals, stored as two bitmasks:
+``mask`` marks which variables appear, ``polarity`` their sign (bit set
+= positive literal).  Cubes are the terms of ESOP expressions
+(exclusive sums of products) which drive ESOP-based reversible
+synthesis (Sec. V) and PhaseOracle compilation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from .truth_table import TruthTable
+
+
+class Cube:
+    """A product term: AND of literals over up to ``num_vars`` variables."""
+
+    __slots__ = ("mask", "polarity")
+
+    def __init__(self, mask: int = 0, polarity: int = 0):
+        if polarity & ~mask:
+            raise ValueError("polarity bit set for a variable not in mask")
+        self.mask = mask
+        self.polarity = polarity
+
+    @classmethod
+    def from_literals(cls, literals: Iterable[Tuple[int, bool]]) -> "Cube":
+        """Build from (variable, positive?) pairs."""
+        mask = polarity = 0
+        for var, positive in literals:
+            bit = 1 << var
+            if mask & bit:
+                raise ValueError(f"variable {var} appears twice")
+            mask |= bit
+            if positive:
+                polarity |= bit
+        return cls(mask, polarity)
+
+    @classmethod
+    def tautology(cls) -> "Cube":
+        """The empty cube (constant 1)."""
+        return cls(0, 0)
+
+    @classmethod
+    def minterm(cls, num_vars: int, x: int) -> "Cube":
+        """The cube selecting exactly input ``x``."""
+        mask = (1 << num_vars) - 1
+        return cls(mask, x & mask)
+
+    # ------------------------------------------------------------------
+    def literals(self) -> Iterator[Tuple[int, bool]]:
+        mask = self.mask
+        var = 0
+        while mask:
+            if mask & 1:
+                yield var, bool((self.polarity >> var) & 1)
+            mask >>= 1
+            var += 1
+
+    def num_literals(self) -> int:
+        return bin(self.mask).count("1")
+
+    def positive_vars(self) -> List[int]:
+        return [v for v, pos in self.literals() if pos]
+
+    def negative_vars(self) -> List[int]:
+        return [v for v, pos in self.literals() if not pos]
+
+    def evaluate(self, x: int) -> int:
+        """1 if input ``x`` satisfies all literals."""
+        return int((x & self.mask) == self.polarity)
+
+    def to_truth_table(self, num_vars: int) -> TruthTable:
+        table = TruthTable(num_vars)
+        for x in range(1 << num_vars):
+            if self.evaluate(x):
+                table.bits |= 1 << x
+        return table
+
+    def distance(self, other: "Cube") -> int:
+        """Number of positions in which two cubes differ.
+
+        A position differs if the variable appears in exactly one cube,
+        or appears in both with opposite polarity.  Distance-1 pairs can
+        be merged by EXOR-link operations (exorcism).
+        """
+        diff_mask = self.mask ^ other.mask
+        shared = self.mask & other.mask
+        diff_pol = (self.polarity ^ other.polarity) & shared
+        return bin(diff_mask).count("1") + bin(diff_pol).count("1")
+
+    def restrict(self, var: int, value: bool) -> Optional["Cube"]:
+        """Cofactor the cube by ``x_var = value``.
+
+        Returns None if the cube requires the opposite value (i.e. the
+        restricted cube is constant 0); otherwise the cube without the
+        variable.
+        """
+        bit = 1 << var
+        if not self.mask & bit:
+            return self
+        needs = bool(self.polarity & bit)
+        if needs != value:
+            return None
+        return Cube(self.mask & ~bit, self.polarity & ~bit)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Cube)
+            and self.mask == other.mask
+            and self.polarity == other.polarity
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.mask, self.polarity))
+
+    def __str__(self) -> str:
+        if not self.mask:
+            return "1"
+        parts = []
+        for var, positive in self.literals():
+            parts.append(f"x{var}" if positive else f"~x{var}")
+        return "&".join(parts)
+
+    def __repr__(self) -> str:
+        return f"Cube({self})"
+
+
+def esop_to_truth_table(cubes: Iterable[Cube], num_vars: int) -> TruthTable:
+    """XOR of the cubes' characteristic functions."""
+    table = TruthTable(num_vars)
+    for cube in cubes:
+        table = table ^ cube.to_truth_table(num_vars)
+    return table
+
+
+def esop_evaluate(cubes: Iterable[Cube], x: int) -> int:
+    value = 0
+    for cube in cubes:
+        value ^= cube.evaluate(x)
+    return value

@@ -1,0 +1,157 @@
+"""Python predicates as Boolean function specifications.
+
+The paper's ``PhaseOracle(f)`` statement takes a plain Python function
+(Fig. 4: ``lambda a, b, c, d: (a and b) ^ (c and d)``), converts its
+body into a Boolean expression, and hands it to RevKit.  This module
+implements that conversion: the predicate's AST is compiled into a
+:class:`TruthTable` by symbolic evaluation over truth tables, so the
+supported fragment (``and``, ``or``, ``not``, ``^``, ``&``, ``|``,
+``~``, ``==``, ``!=``, constants) is translated exactly; anything
+outside the fragment falls back to exhaustive tabulation.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Callable, List, Optional
+
+from .truth_table import TruthTable
+
+
+class ExpressionError(ValueError):
+    """Raised when a predicate cannot be converted."""
+
+
+def function_arity(func: Callable) -> int:
+    """Number of positional parameters of the predicate."""
+    signature = inspect.signature(func)
+    params = [
+        p
+        for p in signature.parameters.values()
+        if p.kind
+        in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+    ]
+    return len(params)
+
+
+def predicate_to_truth_table(
+    func: Callable, num_vars: Optional[int] = None
+) -> TruthTable:
+    """Compile a Python predicate into a truth table.
+
+    Tries symbolic AST evaluation first (exact translation of the
+    Boolean fragment); falls back to brute-force tabulation for
+    predicates using arithmetic or other constructs.
+    """
+    if num_vars is None:
+        num_vars = function_arity(func)
+    try:
+        return _symbolic(func, num_vars)
+    except ExpressionError:
+        return TruthTable.from_function(num_vars, func)
+
+
+def _symbolic(func: Callable, num_vars: int) -> TruthTable:
+    try:
+        source = textwrap.dedent(inspect.getsource(func))
+    except (OSError, TypeError) as exc:
+        raise ExpressionError("source unavailable") from exc
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        # e.g. a lambda inside a call expression; try to slice it out
+        raise ExpressionError("cannot parse source") from exc
+    node = _find_function_node(tree)
+    if node is None:
+        raise ExpressionError("no function definition found")
+    arg_names = _argument_names(node)
+    if len(arg_names) != num_vars:
+        raise ExpressionError("arity mismatch")
+    body = _function_body(node)
+    env = {
+        name: TruthTable.projection(num_vars, i)
+        for i, name in enumerate(arg_names)
+    }
+    return _eval(body, env, num_vars)
+
+
+def _find_function_node(tree: ast.AST):
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.Lambda)):
+            return node
+    return None
+
+
+def _argument_names(node) -> List[str]:
+    args = node.args
+    if args.vararg or args.kwarg or args.kwonlyargs:
+        raise ExpressionError("only plain positional parameters supported")
+    return [a.arg for a in args.args]
+
+
+def _function_body(node):
+    if isinstance(node, ast.Lambda):
+        return node.body
+    statements = [
+        s for s in node.body if not isinstance(s, (ast.Expr,))
+        or not isinstance(getattr(s, "value", None), ast.Constant)
+    ]
+    if len(statements) != 1 or not isinstance(statements[0], ast.Return):
+        raise ExpressionError("predicate body must be a single return")
+    if statements[0].value is None:
+        raise ExpressionError("predicate returns nothing")
+    return statements[0].value
+
+
+def _eval(node, env, num_vars: int) -> TruthTable:
+    if isinstance(node, ast.Name):
+        if node.id not in env:
+            raise ExpressionError(f"unknown name {node.id!r}")
+        return env[node.id]
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, bool) or node.value in (0, 1):
+            return TruthTable.constant(num_vars, bool(node.value))
+        raise ExpressionError(f"unsupported constant {node.value!r}")
+    if isinstance(node, ast.BoolOp):
+        values = [_eval(v, env, num_vars) for v in node.values]
+        result = values[0]
+        for value in values[1:]:
+            result = (
+                result & value
+                if isinstance(node.op, ast.And)
+                else result | value
+            )
+        return result
+    if isinstance(node, ast.UnaryOp):
+        operand = _eval(node.operand, env, num_vars)
+        if isinstance(node.op, (ast.Not, ast.Invert)):
+            return ~operand
+        raise ExpressionError("unsupported unary operator")
+    if isinstance(node, ast.BinOp):
+        left = _eval(node.left, env, num_vars)
+        right = _eval(node.right, env, num_vars)
+        if isinstance(node.op, ast.BitXor):
+            return left ^ right
+        if isinstance(node.op, ast.BitAnd):
+            return left & right
+        if isinstance(node.op, ast.BitOr):
+            return left | right
+        raise ExpressionError("unsupported binary operator")
+    if isinstance(node, ast.Compare):
+        if len(node.ops) != 1:
+            raise ExpressionError("chained comparisons unsupported")
+        left = _eval(node.left, env, num_vars)
+        right = _eval(node.comparators[0], env, num_vars)
+        if isinstance(node.ops[0], ast.Eq):
+            return ~(left ^ right)
+        if isinstance(node.ops[0], ast.NotEq):
+            return left ^ right
+        raise ExpressionError("unsupported comparison")
+    if isinstance(node, ast.IfExp):
+        cond = _eval(node.test, env, num_vars)
+        then = _eval(node.body, env, num_vars)
+        other = _eval(node.orelse, env, num_vars)
+        return (cond & then) | (~cond & other)
+    raise ExpressionError(f"unsupported syntax {type(node).__name__}")

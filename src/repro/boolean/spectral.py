@@ -1,0 +1,132 @@
+"""Walsh–Hadamard spectral analysis of Boolean functions.
+
+Bent functions — the heart of the hidden shift problem (Sec. VI.A) —
+are exactly the functions with a perfectly flat Walsh spectrum:
+``|W_f(w)| = 2^{n/2}`` for all ``w``.  The *dual* bent function f~ is
+read off the spectrum signs: ``W_f(w) = 2^{n/2} (-1)^{f~(w)}``.
+
+The transform is computed with the fast Walsh–Hadamard butterfly in
+O(n 2^n) using numpy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .truth_table import TruthTable
+
+
+def walsh_spectrum(table: TruthTable) -> np.ndarray:
+    """Walsh spectrum ``W_f(w) = sum_x (-1)^{f(x) + w.x}`` for all w."""
+    signs = np.array(
+        [1 - 2 * table(x) for x in range(table.size)], dtype=np.int64
+    )
+    return fwht(signs)
+
+
+def fwht(vector: np.ndarray) -> np.ndarray:
+    """In-place-style fast Walsh–Hadamard transform (unnormalized)."""
+    out = vector.astype(np.int64).copy()
+    size = out.size
+    h = 1
+    while h < size:
+        for start in range(0, size, h * 2):
+            a = out[start:start + h].copy()
+            b = out[start + h:start + 2 * h].copy()
+            out[start:start + h] = a + b
+            out[start + h:start + 2 * h] = a - b
+        h *= 2
+    return out
+
+
+def is_bent(table: TruthTable) -> bool:
+    """True iff the function has a flat spectrum (requires even n)."""
+    n = table.num_vars
+    if n % 2 != 0 or n == 0:
+        return False
+    spectrum = walsh_spectrum(table)
+    flat = 1 << (n // 2)
+    return bool(np.all(np.abs(spectrum) == flat))
+
+
+def dual_bent(table: TruthTable) -> TruthTable:
+    """Dual bent function f~ with ``W_f(w) = 2^{n/2} (-1)^{f~(w)}``."""
+    if not is_bent(table):
+        raise ValueError("dual is only defined for bent functions")
+    spectrum = walsh_spectrum(table)
+    bits = 0
+    for w, value in enumerate(spectrum):
+        if value < 0:
+            bits |= 1 << w
+    return TruthTable(table.num_vars, bits)
+
+
+def nonlinearity(table: TruthTable) -> int:
+    """Hamming distance to the closest affine function."""
+    spectrum = walsh_spectrum(table)
+    return (table.size - int(np.max(np.abs(spectrum)))) // 2
+
+
+def correlation(f: TruthTable, g: TruthTable) -> np.ndarray:
+    """Cross-correlation ``C(s) = sum_x (-1)^{f(x) + g(x ^ s)}``.
+
+    For a bent pair ``g(x) = f(x ^ s0)`` the correlation is
+    ``+-2^n`` exactly at ``s = s0`` — the classical counterpart of the
+    quantum hidden-shift algorithm's interference pattern.
+    """
+    if f.num_vars != g.num_vars:
+        raise ValueError("functions over different variable counts")
+    sf = np.array([1 - 2 * f(x) for x in range(f.size)], dtype=np.int64)
+    sg = np.array([1 - 2 * g(x) for x in range(g.size)], dtype=np.int64)
+    # convolution over (Z_2)^n diagonalizes under WHT
+    product = fwht(sf) * fwht(sg)
+    return fwht(product) // f.size
+
+
+def find_shift_classically(f: TruthTable, g: TruthTable) -> Optional[int]:
+    """Recover s with g(x) = f(x ^ s) by exhaustive correlation.
+
+    This is the (exponential-time) classical baseline the quantum
+    algorithm beats; used by tests and benches as ground truth.
+    """
+    corr = correlation(f, g)
+    peak = int(np.argmax(np.abs(corr)))
+    if abs(int(corr[peak])) == f.size:
+        # confirm it is a true shift
+        for x in range(f.size):
+            if g(x) != f(x ^ peak):
+                return None
+        return peak
+    return None
+
+
+def linear_structure(table: TruthTable) -> List[int]:
+    """Vectors a with f(x ^ a) + f(x) constant (bent => only a = 0)."""
+    out = []
+    for a in range(table.size):
+        first = table(0) ^ table(a)
+        if all(table(x) ^ table(x ^ a) == first for x in range(table.size)):
+            out.append(a)
+    return out
+
+
+def autocorrelation(table: TruthTable) -> np.ndarray:
+    """Autocorrelation spectrum ``r(a) = sum_x (-1)^{f(x) + f(x ^ a)}``.
+
+    The dual characterization of bentness: f is bent iff ``r(a) = 0``
+    for every ``a != 0`` (perfect nonlinearity) — the property that
+    makes the hidden shift measurable in a single query.
+    """
+    signs = np.array(
+        [1 - 2 * table(x) for x in range(table.size)], dtype=np.int64
+    )
+    spectrum = fwht(signs)
+    return fwht(spectrum * spectrum) // table.size
+
+
+def is_perfectly_nonlinear(table: TruthTable) -> bool:
+    """True iff the autocorrelation vanishes off the origin (= bent)."""
+    r = autocorrelation(table)
+    return bool(r[0] == table.size and np.all(r[1:] == 0))

@@ -1,0 +1,34 @@
+"""Core quantum circuit IR: gates, circuits, statistics, QASM, DAG."""
+
+from .circuit import QuantumCircuit
+from .dag import CircuitDag
+from .drawing import draw_circuit, draw_reversible
+from .gates import Gate, gate_matrix, is_clifford_name, is_clifford_t_name
+from .qasm import QasmError, from_qasm, to_qasm
+from .statistics import CircuitStatistics, circuit_statistics
+from .unitary import (
+    allclose_up_to_global_phase,
+    circuit_unitary,
+    circuits_equivalent,
+    unitary_as_permutation,
+)
+
+__all__ = [
+    "QuantumCircuit",
+    "CircuitDag",
+    "draw_circuit",
+    "draw_reversible",
+    "Gate",
+    "gate_matrix",
+    "is_clifford_name",
+    "is_clifford_t_name",
+    "QasmError",
+    "from_qasm",
+    "to_qasm",
+    "CircuitStatistics",
+    "circuit_statistics",
+    "allclose_up_to_global_phase",
+    "circuit_unitary",
+    "circuits_equivalent",
+    "unitary_as_permutation",
+]

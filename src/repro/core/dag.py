@@ -1,0 +1,69 @@
+"""Gate dependency DAG.
+
+Builds a directed acyclic graph over the gates of a circuit where an
+edge ``i -> j`` means gate ``j`` must execute after gate ``i`` because
+they share a qubit (or classical bit).  Used by the optimization passes
+for commutation-aware cancellation and by T-depth scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Set
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .circuit import QuantumCircuit
+
+
+@dataclass
+class DagNode:
+    """One gate plus its dependency links."""
+
+    index: int
+    gate: object
+    predecessors: Set[int] = field(default_factory=set)
+    successors: Set[int] = field(default_factory=set)
+
+
+class CircuitDag:
+    """Dependency DAG of a circuit's gates."""
+
+    def __init__(self, circuit: "QuantumCircuit"):
+        self.circuit = circuit
+        self.nodes: List[DagNode] = []
+        last_on_wire: Dict[str, int] = {}
+        for index, gate in enumerate(circuit.gates):
+            node = DagNode(index, gate)
+            wires = [f"q{q}" for q in gate.qubits]
+            wires += [f"c{c}" for c in gate.cbits]
+            for wire in wires:
+                if wire in last_on_wire:
+                    prev = last_on_wire[wire]
+                    node.predecessors.add(prev)
+                    self.nodes[prev].successors.add(index)
+                last_on_wire[wire] = index
+            self.nodes.append(node)
+
+    def front_layer(self) -> List[int]:
+        """Indices of gates with no predecessors."""
+        return [n.index for n in self.nodes if not n.predecessors]
+
+    def topological_layers(self) -> List[List[int]]:
+        """Partition gate indices into ASAP layers."""
+        in_degree = {n.index: len(n.predecessors) for n in self.nodes}
+        layer = [i for i, d in in_degree.items() if d == 0]
+        layers: List[List[int]] = []
+        while layer:
+            layers.append(sorted(layer))
+            next_layer: List[int] = []
+            for i in layer:
+                for succ in self.nodes[i].successors:
+                    in_degree[succ] -= 1
+                    if in_degree[succ] == 0:
+                        next_layer.append(succ)
+            layer = next_layer
+        return layers
+
+    def longest_path_length(self) -> int:
+        """Length (in gates) of the critical path."""
+        return len(self.topological_layers())

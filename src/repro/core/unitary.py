@@ -1,0 +1,121 @@
+"""Dense unitary construction and equivalence checks.
+
+Used by the test-suite and the verification step of the compilation
+flow (Sec. IX of the paper discusses verification of synthesized
+circuits).  Only practical for small qubit counts; the simulator
+package handles larger widths without materializing matrices.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .circuit import QuantumCircuit
+
+
+def apply_gate_to_unitary(unitary: np.ndarray, gate, num_qubits: int) -> np.ndarray:
+    """Left-multiply ``unitary`` by ``gate`` lifted to ``num_qubits``.
+
+    Qubit 0 is the least-significant bit of row/column indices.
+    """
+    local = gate.matrix()
+    qubits = gate.qubits  # controls first (most significant), then targets
+    k = len(qubits)
+    dim = 1 << num_qubits
+    # Reshape to tensor with one axis per qubit.  Axis i of the tensor
+    # corresponds to qubit (num_qubits - 1 - i) because numpy reshape is
+    # big-endian over the flattened index.
+    tensor = unitary.reshape([2] * num_qubits + [dim])
+    axes = [num_qubits - 1 - q for q in qubits]
+    local_tensor = local.reshape([2] * (2 * k))
+    # contract local matrix input axes with the state axes
+    tensor = np.tensordot(local_tensor, tensor, axes=(list(range(k, 2 * k)), axes))
+    # After tensordot the result axes are [out_0..out_{k-1}] followed by
+    # the remaining original axes (original order minus the contracted
+    # ones) and finally the column axis.  Restore the original layout.
+    remaining = [a for a in range(num_qubits) if a not in axes]
+    perm = []
+    out_index = {axis: i for i, axis in enumerate(axes)}
+    rem_index = {axis: k + i for i, axis in enumerate(remaining)}
+    for axis in range(num_qubits):
+        if axis in out_index:
+            perm.append(out_index[axis])
+        else:
+            perm.append(rem_index[axis])
+    perm.append(num_qubits)  # column axis stays last
+    tensor = np.transpose(tensor, perm)
+    return tensor.reshape(dim, dim)
+
+
+def circuit_unitary(circuit: "QuantumCircuit") -> np.ndarray:
+    """Dense unitary of a measurement-free circuit."""
+    if circuit.num_qubits > 12:
+        raise ValueError(
+            f"refusing to build a dense unitary on {circuit.num_qubits} qubits"
+        )
+    dim = 1 << circuit.num_qubits
+    unitary = np.eye(dim, dtype=complex)
+    for gate in circuit.gates:
+        if gate.name == "barrier":
+            continue
+        if not gate.is_unitary:
+            raise ValueError(f"circuit contains non-unitary gate {gate.name!r}")
+        unitary = apply_gate_to_unitary(unitary, gate, circuit.num_qubits)
+    return unitary
+
+
+def allclose_up_to_global_phase(
+    a: np.ndarray, b: np.ndarray, atol: float = 1e-9
+) -> bool:
+    """True if ``a == e^{i phi} b`` for some real phi."""
+    if a.shape != b.shape:
+        return False
+    # find the first non-negligible entry of b to fix the phase
+    flat_b = b.ravel()
+    flat_a = a.ravel()
+    idx = np.argmax(np.abs(flat_b))
+    if abs(flat_b[idx]) < atol:
+        return bool(np.allclose(a, b, atol=atol))
+    phase = flat_a[idx] / flat_b[idx]
+    if abs(abs(phase) - 1.0) > 1e-6:
+        return False
+    return bool(np.allclose(a, phase * b, atol=atol))
+
+
+def circuits_equivalent(
+    circ_a: "QuantumCircuit", circ_b: "QuantumCircuit", up_to_phase: bool = True
+) -> bool:
+    """Check unitary equivalence of two small circuits."""
+    if circ_a.num_qubits != circ_b.num_qubits:
+        return False
+    ua = circuit_unitary(circ_a)
+    ub = circuit_unitary(circ_b)
+    if up_to_phase:
+        return allclose_up_to_global_phase(ua, ub)
+    return bool(np.allclose(ua, ub, atol=1e-9))
+
+
+def unitary_as_permutation(unitary: np.ndarray, atol: float = 1e-9):
+    """If ``unitary`` is a permutation matrix (up to global phase),
+    return the permutation as a list where ``perm[x] = y`` means basis
+    state ``|x>`` maps to ``|y>``; otherwise return ``None``."""
+    dim = unitary.shape[0]
+    perm = [0] * dim
+    seen = set()
+    for col in range(dim):
+        column = unitary[:, col]
+        idx = int(np.argmax(np.abs(column)))
+        val = column[idx]
+        if abs(abs(val) - 1.0) > 1e-6:
+            return None
+        residual = np.abs(column).sum() - abs(val)
+        if residual > atol * dim:
+            return None
+        if idx in seen:
+            return None
+        seen.add(idx)
+        perm[col] = idx
+    return perm

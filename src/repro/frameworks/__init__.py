@@ -1,0 +1,5 @@
+"""Quantum programming frameworks: ProjectQ-style eDSL and Q# generator."""
+
+from . import projectq, qsharp
+
+__all__ = ["projectq", "qsharp"]

@@ -1,0 +1,108 @@
+"""Compiler-chain backend: the full Fig. 2 flow behind the engine.
+
+ProjectQ's "modular compiler design" (Sec. VI) chains compiler engines
+between the programmer and the device.  :class:`CompilerBackend`
+replicates that: circuits emitted by :class:`MainEngine` pass through
+
+    revsimp-style cancellation -> Clifford+T mapping (rptm) ->
+    T-par phase folding -> cancellation -> device routing
+
+before reaching the actual execution backend, so the user's program is
+automatically legal for a constrained chip.  Compilation statistics of
+the last flush are kept for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ...core.circuit import QuantumCircuit
+from ...core.statistics import CircuitStatistics, circuit_statistics
+from ...mapping.barenco import map_to_clifford_t
+from ...mapping.routing import CouplingMap, RoutingResult, route_circuit
+from ...optimization.simplify import cancel_adjacent_gates
+from ...optimization.tpar import tpar_optimize
+from .backends import Backend, Simulator
+
+
+@dataclass
+class CompilationReport:
+    """What the chain did on the last flush."""
+
+    source_stats: CircuitStatistics
+    compiled_stats: CircuitStatistics
+    swap_count: int = 0
+    routed: bool = False
+
+    def as_dict(self) -> Dict[str, int]:
+        out = {
+            f"source_{k}": v for k, v in self.source_stats.as_dict().items()
+        }
+        out.update(
+            {
+                f"compiled_{k}": v
+                for k, v in self.compiled_stats.as_dict().items()
+            }
+        )
+        out["swaps"] = self.swap_count
+        return out
+
+
+class CompilerBackend(Backend):
+    """Backend decorator running the full compilation chain.
+
+    Args:
+        target: the execution backend (default: noiseless simulator).
+        coupling: optional device topology; when given, the compiled
+            circuit is routed onto it and measurements follow their
+            logical qubits.
+        optimize: run tpar + cancellation (on by default).
+    """
+
+    def __init__(
+        self,
+        target: Optional[Backend] = None,
+        coupling: Optional[CouplingMap] = None,
+        optimize: bool = True,
+    ):
+        self.target = target if target is not None else Simulator()
+        self.coupling = coupling
+        self.optimize = optimize
+        self.report: Optional[CompilationReport] = None
+        self.compiled_circuit: Optional[QuantumCircuit] = None
+        self.routing: Optional[RoutingResult] = None
+
+    def execute(self, circuit: QuantumCircuit) -> Optional[int]:
+        compiled = self.compile(circuit)
+        outcome = self.target.execute(compiled)
+        if outcome is None or self.routing is None:
+            return outcome
+        # translate physical measurement bits back to logical qubits:
+        # measure gates were emitted on logical clbits already, so the
+        # outcome is logical — nothing to undo (clbits never move).
+        return outcome
+
+    def compile(self, circuit: QuantumCircuit) -> QuantumCircuit:
+        """Run the chain and record the report."""
+        source_stats = circuit_statistics(circuit)
+        work = cancel_adjacent_gates(circuit)
+        if any(g.name in ("ccx", "ccz", "mcx", "mcz", "cz") for g in work):
+            work = map_to_clifford_t(work)
+        if self.optimize:
+            work = cancel_adjacent_gates(tpar_optimize(work))
+        self.routing = None
+        swaps = 0
+        if self.coupling is not None:
+            routed = route_circuit(work, self.coupling)
+            self.routing = routed
+            work = routed.circuit
+            swaps = routed.swap_count
+        self.compiled_circuit = work
+        self.report = CompilationReport(
+            source_stats=source_stats,
+            compiled_stats=circuit_statistics(work),
+            swap_count=swaps,
+            routed=self.coupling is not None,
+        )
+        return work

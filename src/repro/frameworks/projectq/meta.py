@@ -1,0 +1,83 @@
+"""Meta-contexts: Compute/Uncompute, Dagger, Control.
+
+The high-level syntactic constructs of the paper's Figs. 4 and 7:
+
+* ``with Compute(eng): ...`` records a block; ``Uncompute(eng)``
+  appends its adjoint (used for the H / X / oracle sandwich of the
+  hidden shift circuits);
+* ``with Dagger(eng): ...`` emits the adjoint of a block (used to
+  realize pi^{-1} from a circuit for pi);
+* ``with Control(eng, qubits): ...`` conditions a block on qubits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+from ...core.gates import Gate
+from .engine import EngineError, MainEngine, Qubit
+
+
+class Compute:
+    """Record a block for later uncomputation."""
+
+    def __init__(self, engine: MainEngine):
+        self.engine = engine
+
+    def __enter__(self) -> "Compute":
+        self.engine.push_frame("compute")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        gates = self.engine.pop_frame("compute")
+        if exc_type is None:
+            self.engine.replay(gates)
+            self.engine.set_last_compute(gates)
+
+
+def Uncompute(engine: MainEngine) -> None:
+    """Append the adjoint of the most recent Compute block.
+
+    Recorded gates already carry any Control-context controls from
+    recording time, so they are replayed verbatim (inverted) rather
+    than re-emitted through the control machinery.
+    """
+    gates = engine.take_last_compute()
+    engine.replay([gate.dagger() for gate in reversed(gates)])
+
+
+class Dagger:
+    """Emit the adjoint of the recorded block."""
+
+    def __init__(self, engine: MainEngine):
+        self.engine = engine
+
+    def __enter__(self) -> "Dagger":
+        self.engine.push_frame("dagger")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        gates = self.engine.pop_frame("dagger")
+        if exc_type is None:
+            for gate in reversed(gates):
+                if self.engine._frames:
+                    self.engine._frames[-1].gates.append(gate.dagger())
+                else:
+                    self.engine._append(gate.dagger())
+
+
+class Control:
+    """Condition the recorded block on control qubits."""
+
+    def __init__(self, engine: MainEngine, qubits: Union[Qubit, Sequence[Qubit]]):
+        self.engine = engine
+        if isinstance(qubits, Qubit):
+            qubits = [qubits]
+        self.controls = [q.index for q in qubits]
+
+    def __enter__(self) -> "Control":
+        self.engine.push_controls(self.controls)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.engine.pop_controls(len(self.controls))

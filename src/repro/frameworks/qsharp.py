@@ -1,0 +1,225 @@
+"""Q# code generation — the RevKit/Q# interop of Sec. VIII.
+
+In the paper's second tool flow RevKit acts as a *pre-processor*: it
+synthesizes the permutation oracle and emits it as native Q# source
+(Fig. 10), which the Q# compiler then builds against the hidden-shift
+driver (Fig. 9).  The Q# toolchain itself cannot run in this
+environment, so this module
+
+* generates the same artifacts as text —
+  :func:`permutation_oracle_operation` mirrors Fig. 10's
+  ``PermutationOracle`` operation (H/T/T'/CNOT body, ``adjoint auto``)
+  and :func:`hidden_shift_program` the full two-namespace program; and
+* keeps the source of truth executable — every generated operation
+  carries its :class:`~repro.core.circuit.QuantumCircuit`, and
+  :func:`parse_operation_body` re-parses emitted Q# back into a
+  circuit so tests can verify text == semantics.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Union
+
+from ..boolean.permutation import BitPermutation
+from ..core.circuit import QuantumCircuit
+from ..mapping.barenco import map_to_clifford_t
+from ..optimization.simplify import cancel_adjacent_gates, simplify_reversible
+from ..synthesis.reversible import ReversibleCircuit
+from ..synthesis.transformation import transformation_based_synthesis
+
+_QSHARP_NAMES = {
+    "h": "H",
+    "x": "X",
+    "y": "Y",
+    "z": "Z",
+    "s": "S",
+    "t": "T",
+    "cx": "CNOT",
+    "cz": "CZ",
+    "ccx": "CCNOT",
+    "swap": "SWAP",
+}
+_ADJOINT_NAMES = {"sdg": "S", "tdg": "T"}
+
+
+class QSharpError(ValueError):
+    """Raised for unexportable gates or malformed generated code."""
+
+
+@dataclass
+class QSharpOperation:
+    """Generated Q# operation together with its executable circuit."""
+
+    name: str
+    code: str
+    circuit: QuantumCircuit
+
+
+def gate_to_qsharp(gate) -> str:
+    """One Q# statement for a core gate."""
+    if gate.name in _ADJOINT_NAMES:
+        base = _ADJOINT_NAMES[gate.name]
+        args = ", ".join(f"qubits[{q}]" for q in gate.qubits)
+        return f"(Adjoint {base})({args});"
+    name = _QSHARP_NAMES.get(gate.name)
+    if name is None:
+        raise QSharpError(f"gate {gate.name!r} has no Q# primitive form")
+    args = ", ".join(f"qubits[{q}]" for q in gate.qubits)
+    return f"{name}({args});"
+
+
+def operation_from_circuit(
+    name: str,
+    circuit: QuantumCircuit,
+    namespace: str = "Repro.Quantum.PermOracle",
+) -> QSharpOperation:
+    """Emit a circuit as a self-adjointable Q# operation (Fig. 10 style)."""
+    body_lines = [f"            {gate_to_qsharp(g)}" for g in circuit.gates]
+    body = "\n".join(body_lines)
+    code = f"""namespace {namespace} {{
+    open Microsoft.Quantum.Primitive;
+
+    operation {name}
+        (qubits : Qubit[]) :
+        () {{
+        body {{
+{body}
+        }}
+        adjoint auto
+        controlled auto
+        controlled adjoint auto
+    }}
+}}"""
+    return QSharpOperation(name, code, circuit.copy())
+
+
+def permutation_oracle_operation(
+    permutation: Union[BitPermutation, Sequence[int]],
+    synth: Optional[Callable[[BitPermutation], ReversibleCircuit]] = None,
+    name: str = "PermutationOracle",
+) -> QSharpOperation:
+    """RevKit-as-preprocessor: synthesize ``pi`` and emit Q# (Fig. 10).
+
+    Pipeline: chosen synthesis (default transformation-based [43]),
+    ``revsimp``, Clifford+T mapping [42], gate cancellation — then Q#
+    text generation.
+    """
+    if not isinstance(permutation, BitPermutation):
+        permutation = BitPermutation(list(permutation))
+    synthesize = synth if synth is not None else transformation_based_synthesis
+    reversible = simplify_reversible(synthesize(permutation))
+    mapped = map_to_clifford_t(reversible)
+    mapped = cancel_adjacent_gates(mapped)
+    return operation_from_circuit(name, mapped)
+
+
+def hidden_shift_program(
+    permutation: Union[BitPermutation, Sequence[int]],
+    num_vars: int,
+    synth: Optional[Callable[[BitPermutation], ReversibleCircuit]] = None,
+) -> str:
+    """The full two-namespace Q# program of Figs. 9 and 10."""
+    oracle = permutation_oracle_operation(permutation, synth=synth)
+    driver = f"""namespace Repro.Quantum.HiddenShift {{
+    // basic operations: Hadamard, CNOT, etc
+    open Microsoft.Quantum.Primitive;
+    // useful lib functions and combinators
+    open Microsoft.Quantum.Canon;
+    // permutation defining the instance
+    open Repro.Quantum.PermOracle;
+
+    operation HiddenShift
+        (Ufstar : (Qubit[] => ()),
+         Ug : (Qubit[] => ()), n : Int) :
+        Result[] {{
+        body {{
+            mutable resultArray = new Result[n];
+            using (qubits = Qubit[n]) {{
+                ApplyToEach(H, qubits);
+                Ug(qubits);
+                ApplyToEach(H, qubits);
+                Ufstar(qubits);
+                ApplyToEach(H, qubits);
+                for (idx in 0..(n-1)) {{
+                    set resultArray[idx] = MResetZ(qubits[idx]);
+                }}
+            }}
+            Message($"result: {{resultArray}}");
+            return resultArray;
+        }}
+    }}
+
+    operation BentFunctionImpl
+        (n : Int, qs : Qubit[]) : () {{
+        body {{
+            let xs = qs[0..(n-1)];
+            let ys = qs[n..(2*n-1)];
+            (Adjoint PermutationOracle)(ys);
+            for (idx in 0..(n-1)) {{
+                (Controlled Z)([xs[idx]], ys[idx]);
+            }}
+            PermutationOracle(ys);
+        }}
+    }}
+
+    function BentFunction
+        (n : Int) : (Qubit[] => ()) {{
+        return BentFunctionImpl(n, _);
+    }}
+}}
+
+{oracle.code}"""
+    return driver
+
+
+# ----------------------------------------------------------------------
+# structural validation / re-parsing
+# ----------------------------------------------------------------------
+_STMT_RE = re.compile(
+    r"^(?:\(Adjoint\s+(?P<adj>\w+)\)|(?P<name>\w+))"
+    r"\((?P<args>[^)]*)\);$"
+)
+_INDEX_RE = re.compile(r"qubits\[(\d+)\]")
+
+
+def validate_program(code: str) -> bool:
+    """Structural checks: balanced braces and namespace/operation heads."""
+    if code.count("{") != code.count("}"):
+        return False
+    if "namespace" not in code or "operation" not in code:
+        return False
+    return True
+
+
+def parse_operation_body(code: str, num_qubits: int) -> QuantumCircuit:
+    """Parse the gate statements of a generated operation back into a
+    circuit (supports the primitive set :func:`gate_to_qsharp` emits)."""
+    inverse_names = {v: k for k, v in _QSHARP_NAMES.items()}
+    circuit = QuantumCircuit(num_qubits)
+    for raw in code.splitlines():
+        line = raw.strip()
+        match = _STMT_RE.match(line)
+        if not match:
+            continue
+        qubits = [int(i) for i in _INDEX_RE.findall(match.group("args"))]
+        if match.group("adj"):
+            base = match.group("adj")
+            name = {"S": "sdg", "T": "tdg"}.get(base)
+            if name is None:
+                raise QSharpError(f"unsupported adjoint {base!r}")
+            circuit._add(name, (qubits[0],))
+            continue
+        name = inverse_names.get(match.group("name"))
+        if name is None:
+            continue  # non-gate statement (Message, set, ...)
+        if name in ("cx", "cz"):
+            circuit._add(name, (qubits[1],), (qubits[0],))
+        elif name == "ccx":
+            circuit._add(name, (qubits[2],), (qubits[0], qubits[1]))
+        elif name == "swap":
+            circuit._add(name, tuple(qubits))
+        else:
+            circuit._add(name, (qubits[0],))
+    return circuit

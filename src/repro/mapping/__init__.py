@@ -1,0 +1,37 @@
+"""Mapping reversible/MCT circuits into the Clifford+T gate set."""
+
+from .barenco import (
+    MappingError,
+    map_to_clifford_t,
+    mcx_clean_ancilla,
+    mcx_dirty_ancilla,
+    t_count_of_mapping,
+)
+from .clifford_t import ccx_clifford_t, ccz_clifford_t, cz_from_cx, swap_from_cx
+from .relative_phase import rccx, rccx_dagger
+from .routing import (
+    CouplingMap,
+    RoutingError,
+    RoutingResult,
+    route_circuit,
+    verify_routing,
+)
+
+__all__ = [
+    "MappingError",
+    "map_to_clifford_t",
+    "mcx_clean_ancilla",
+    "mcx_dirty_ancilla",
+    "t_count_of_mapping",
+    "ccx_clifford_t",
+    "ccz_clifford_t",
+    "cz_from_cx",
+    "swap_from_cx",
+    "rccx",
+    "rccx_dagger",
+    "CouplingMap",
+    "RoutingError",
+    "RoutingResult",
+    "route_circuit",
+    "verify_routing",
+]

@@ -1,0 +1,35 @@
+"""Relative-phase Toffoli gates (Maslov [42]).
+
+A relative-phase Toffoli (RCCX) equals CCX up to a diagonal phase on
+the computational basis; it costs 4 T gates instead of 7.  It is safe
+wherever the diagonal provably cancels — in particular in
+compute/uncompute ladders around a diagonal-commuting center gate,
+which is exactly how the ``rptm`` mapping uses it.
+"""
+
+from __future__ import annotations
+
+from ..core.circuit import QuantumCircuit
+
+
+def rccx(c1: int, c2: int, target: int, num_qubits: int) -> QuantumCircuit:
+    """Relative-phase Toffoli, T-count 4 (the "simplified Toffoli").
+
+    Implements CCX times a diagonal phase; its adjoint undoes it
+    exactly, so compute/uncompute pairs behave like true Toffolis.
+    """
+    circ = QuantumCircuit(num_qubits, name="rccx")
+    circ.h(target)
+    circ.t(target)
+    circ.cx(c2, target)
+    circ.tdg(target)
+    circ.cx(c1, target)
+    circ.t(target)
+    circ.cx(c2, target)
+    circ.tdg(target)
+    circ.h(target)
+    return circ
+
+
+def rccx_dagger(c1: int, c2: int, target: int, num_qubits: int) -> QuantumCircuit:
+    return rccx(c1, c2, target, num_qubits).dagger()

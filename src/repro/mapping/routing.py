@@ -1,0 +1,279 @@
+"""Device-topology routing — targeting real chips (Sec. VII).
+
+Running the Fig. 4 circuit "on the IBM Quantum Experience chip"
+implies one more compilation stage the paper delegates to the vendor
+stack: two-qubit gates only execute between *coupled* qubits, so the
+circuit must be mapped onto the device graph with SWAP insertion.
+
+This module provides that substrate:
+
+* :class:`CouplingMap` — an undirected device graph with shortest-path
+  queries (the early IBM QE devices are provided as presets);
+* :func:`route_circuit` — a greedy SWAP router: gates execute when
+  their qubits are adjacent under the current logical->physical layout,
+  otherwise SWAPs move them together along a shortest path;
+* :func:`verify_routing` — semantic check: the routed circuit equals
+  the original up to the final layout permutation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..core.circuit import QuantumCircuit
+from ..core.gates import Gate
+
+
+class RoutingError(RuntimeError):
+    """Raised for unroutable circuits or malformed coupling maps."""
+
+
+class CouplingMap:
+    """Undirected device connectivity graph."""
+
+    def __init__(self, num_qubits: int, edges: Sequence[Tuple[int, int]]):
+        self.num_qubits = num_qubits
+        self.edges: Set[FrozenSet[int]] = set()
+        self.neighbors: Dict[int, Set[int]] = {
+            q: set() for q in range(num_qubits)
+        }
+        for a, b in edges:
+            if not (0 <= a < num_qubits and 0 <= b < num_qubits) or a == b:
+                raise RoutingError(f"bad edge ({a}, {b})")
+            self.edges.add(frozenset((a, b)))
+            self.neighbors[a].add(b)
+            self.neighbors[b].add(a)
+        self._distances: Optional[List[List[int]]] = None
+
+    # presets ------------------------------------------------------------
+    @classmethod
+    def ibm_qx2(cls) -> "CouplingMap":
+        """The 5-qubit IBM QE 'bowtie' (ibmqx2/sparrow) topology."""
+        return cls(5, [(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)])
+
+    @classmethod
+    def ibm_qx4(cls) -> "CouplingMap":
+        """The 5-qubit ibmqx4 (raven) topology."""
+        return cls(5, [(1, 0), (2, 0), (2, 1), (3, 2), (3, 4), (4, 2)])
+
+    @classmethod
+    def line(cls, num_qubits: int) -> "CouplingMap":
+        """Linear nearest-neighbour chain."""
+        return cls(num_qubits, [(q, q + 1) for q in range(num_qubits - 1)])
+
+    @classmethod
+    def ring(cls, num_qubits: int) -> "CouplingMap":
+        edges = [(q, (q + 1) % num_qubits) for q in range(num_qubits)]
+        return cls(num_qubits, edges)
+
+    @classmethod
+    def grid(cls, rows: int, cols: int) -> "CouplingMap":
+        """2D lattice (the 16/17-qubit device generation)."""
+        edges = []
+        for r in range(rows):
+            for c in range(cols):
+                q = r * cols + c
+                if c + 1 < cols:
+                    edges.append((q, q + 1))
+                if r + 1 < rows:
+                    edges.append((q, q + cols))
+        return cls(rows * cols, edges)
+
+    @classmethod
+    def full(cls, num_qubits: int) -> "CouplingMap":
+        edges = [
+            (a, b)
+            for a in range(num_qubits)
+            for b in range(a + 1, num_qubits)
+        ]
+        return cls(num_qubits, edges)
+
+    # queries ------------------------------------------------------------
+    def connected(self, a: int, b: int) -> bool:
+        return frozenset((a, b)) in self.edges
+
+    def distance(self, a: int, b: int) -> int:
+        if self._distances is None:
+            self._distances = self._all_pairs()
+        d = self._distances[a][b]
+        if d < 0:
+            raise RoutingError(f"qubits {a} and {b} are disconnected")
+        return d
+
+    def shortest_path(self, a: int, b: int) -> List[int]:
+        """BFS path from a to b inclusive."""
+        if a == b:
+            return [a]
+        parents = {a: a}
+        queue = deque([a])
+        while queue:
+            node = queue.popleft()
+            for nxt in self.neighbors[node]:
+                if nxt not in parents:
+                    parents[nxt] = node
+                    if nxt == b:
+                        path = [b]
+                        while path[-1] != a:
+                            path.append(parents[path[-1]])
+                        return list(reversed(path))
+                    queue.append(nxt)
+        raise RoutingError(f"qubits {a} and {b} are disconnected")
+
+    def _all_pairs(self) -> List[List[int]]:
+        out = []
+        for start in range(self.num_qubits):
+            dist = [-1] * self.num_qubits
+            dist[start] = 0
+            queue = deque([start])
+            while queue:
+                node = queue.popleft()
+                for nxt in self.neighbors[node]:
+                    if dist[nxt] < 0:
+                        dist[nxt] = dist[node] + 1
+                        queue.append(nxt)
+            out.append(dist)
+        return out
+
+
+@dataclass
+class RoutingResult:
+    """Routed circuit plus layout bookkeeping."""
+
+    circuit: QuantumCircuit
+    initial_layout: List[int]    # logical -> physical at the start
+    final_layout: List[int]      # logical -> physical at the end
+    swap_count: int
+    #: full device-wire permutation: content initially at physical wire
+    #: c ends the routed circuit at wire position_of[c]
+    position_of: List[int] = field(default_factory=list)
+
+    def logical_of_physical(self) -> Dict[int, int]:
+        return {p: l for l, p in enumerate(self.final_layout)}
+
+
+def route_circuit(
+    circuit: QuantumCircuit,
+    coupling: CouplingMap,
+    initial_layout: Optional[Sequence[int]] = None,
+) -> RoutingResult:
+    """Map ``circuit`` onto ``coupling`` by greedy SWAP insertion.
+
+    Only 1- and 2-qubit gates (plus measurements/barriers) are
+    routable; run the Clifford+T mapping first.  When a two-qubit gate
+    spans non-adjacent physical qubits, SWAPs walk one operand along a
+    shortest path until they meet.
+    """
+    if circuit.num_qubits > coupling.num_qubits:
+        raise RoutingError(
+            f"circuit needs {circuit.num_qubits} qubits, device has "
+            f"{coupling.num_qubits}"
+        )
+    if initial_layout is None:
+        layout = list(range(circuit.num_qubits))
+    else:
+        layout = list(initial_layout)
+        if sorted(layout) != sorted(set(layout)) or len(layout) != circuit.num_qubits:
+            raise RoutingError("initial layout must be injective")
+    physical_of = list(layout)  # logical -> physical
+
+    routed = QuantumCircuit(
+        coupling.num_qubits, circuit.num_clbits, circuit.name + "_routed"
+    )
+    swap_count = 0
+    position_of = list(range(coupling.num_qubits))
+
+    def swap_physical(a: int, b: int) -> None:
+        nonlocal swap_count
+        routed.swap(a, b)
+        swap_count += 1
+        # update the logical->physical map and the full wire permutation
+        for logical, phys in enumerate(physical_of):
+            if phys == a:
+                physical_of[logical] = b
+            elif phys == b:
+                physical_of[logical] = a
+        for content, position in enumerate(position_of):
+            if position == a:
+                position_of[content] = b
+            elif position == b:
+                position_of[content] = a
+
+    for gate in circuit.gates:
+        if gate.name == "barrier":
+            routed.barrier(*(physical_of[q] for q in gate.targets))
+            continue
+        qubits = gate.qubits
+        if len(qubits) == 1:
+            routed.append(gate.remap({qubits[0]: physical_of[qubits[0]]}))
+            continue
+        if len(qubits) != 2:
+            raise RoutingError(
+                f"gate {gate.name!r} spans {len(qubits)} qubits; map to "
+                "1/2-qubit gates before routing"
+            )
+        a, b = physical_of[qubits[0]], physical_of[qubits[1]]
+        if not coupling.connected(a, b):
+            path = coupling.shortest_path(a, b)
+            # walk `a` down the path until adjacent to b
+            for step in path[1:-1]:
+                swap_physical(a, step)
+                a = step
+        mapping = {qubits[0]: a, qubits[1]: physical_of[qubits[1]]}
+        routed.append(gate.remap(mapping))
+    return RoutingResult(
+        circuit=routed,
+        initial_layout=list(layout),
+        final_layout=list(physical_of),
+        swap_count=swap_count,
+        position_of=position_of,
+    )
+
+
+def verify_routing(
+    original: QuantumCircuit,
+    result: RoutingResult,
+    atol: float = 1e-9,
+) -> bool:
+    """Check routed == permute(final_layout) . original . permute(init).
+
+    Practical for small widths only (dense unitaries).
+    """
+    import numpy as np
+
+    from ..core.unitary import allclose_up_to_global_phase, circuit_unitary
+
+    n = result.circuit.num_qubits
+    # lift the original onto the device width using the initial layout
+    lifted = QuantumCircuit(n)
+    mapping = {q: result.initial_layout[q] for q in range(original.num_qubits)}
+    for gate in original.gates:
+        if gate.is_measurement or gate.name == "barrier":
+            continue
+        lifted.append(gate.remap(mapping))
+    routed_unitary = circuit_unitary(
+        _strip_measurements(result.circuit)
+    )
+    original_unitary = circuit_unitary(lifted)
+    # output permutation: the content of every device wire moved from
+    # its initial position to position_of (logical wires included)
+    perm = np.zeros((1 << n, 1 << n))
+    for basis in range(1 << n):
+        target = 0
+        for bit in range(n):
+            value = (basis >> bit) & 1
+            target |= value << result.position_of[bit]
+        perm[target, basis] = 1.0
+    return allclose_up_to_global_phase(
+        routed_unitary, perm @ original_unitary, atol=atol
+    )
+
+
+def _strip_measurements(circuit: QuantumCircuit) -> QuantumCircuit:
+    out = QuantumCircuit(circuit.num_qubits)
+    for gate in circuit.gates:
+        if gate.is_measurement or gate.name == "barrier":
+            continue
+        out.append(gate)
+    return out

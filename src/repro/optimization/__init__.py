@@ -1,0 +1,33 @@
+"""Optimization passes: revsimp (cancellation) and tpar (phase folding)."""
+
+from .phase_polynomial import (
+    PhaseRegion,
+    PhaseTerm,
+    fold_region,
+    greedy_t_layers,
+    is_region_gate,
+)
+from .simplify import cancel_adjacent_gates, simplify_reversible
+from .templates import optimization_ladder, template_optimize
+from .tpar import (
+    region_statistics,
+    t_count_before_after,
+    t_depth_estimate,
+    tpar_optimize,
+)
+
+__all__ = [
+    "PhaseRegion",
+    "PhaseTerm",
+    "fold_region",
+    "greedy_t_layers",
+    "is_region_gate",
+    "cancel_adjacent_gates",
+    "simplify_reversible",
+    "optimization_ladder",
+    "template_optimize",
+    "region_statistics",
+    "t_count_before_after",
+    "t_depth_estimate",
+    "tpar_optimize",
+]

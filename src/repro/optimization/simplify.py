@@ -1,0 +1,182 @@
+"""Circuit simplification — the ``revsimp`` command.
+
+Two levels:
+
+* :func:`simplify_reversible` — peephole rules on MCT networks:
+  adjacent equal gates cancel (MCTs are involutions), and gates may
+  slide past each other when they commute (disjoint target/control
+  interaction), enabling more cancellations; NOT-pair absorption into
+  control polarities.
+* :func:`cancel_adjacent_gates` — on quantum circuits: adjacent
+  inverse pairs (h-h, x-x, t-tdg, cx-cx, ...) cancel and adjacent
+  rotations on the same wire merge, iterated to a fixpoint with
+  commutation-aware adjacency (gates on disjoint qubits are
+  transparent).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.circuit import QuantumCircuit
+from ..core.gates import ADJOINT_NAME, Gate, SELF_INVERSE
+from ..synthesis.reversible import MctGate, ReversibleCircuit
+
+
+# ----------------------------------------------------------------------
+# reversible (MCT) simplification
+# ----------------------------------------------------------------------
+def _mct_commute(a: MctGate, b: MctGate) -> bool:
+    """Sufficient commutation condition for two MCT gates.
+
+    They commute if neither gate's target is a control of the other
+    (same-target gates always commute; identical gates trivially)."""
+    if a.target == b.target:
+        return True
+    if a.target in b.controls:
+        return False
+    if b.target in a.controls:
+        return False
+    return True
+
+
+def _absorb_not(not_gate: MctGate, gate: MctGate) -> Optional[MctGate]:
+    """X(line) conjugation: flips the polarity of a matching control."""
+    line = not_gate.target
+    if line == gate.target or line not in gate.controls:
+        return None
+    polarity = tuple(
+        not p if ctl == line else p
+        for ctl, p in zip(gate.controls, gate.polarity)
+    )
+    return MctGate(gate.target, gate.controls, polarity)
+
+
+def simplify_reversible(
+    circuit: ReversibleCircuit, max_rounds: int = 10
+) -> ReversibleCircuit:
+    """Cancel/merge MCT gates; preserves the circuit's permutation."""
+    gates = list(circuit.gates)
+
+    def cancel_once() -> bool:
+        """Remove one equal pair reachable through commuting gates."""
+        for i in range(len(gates)):
+            for j in range(i + 1, len(gates)):
+                if gates[i] == gates[j]:
+                    del gates[j]
+                    del gates[i]
+                    return True
+                if not _mct_commute(gates[i], gates[j]):
+                    break
+        return False
+
+    def absorb_once() -> bool:
+        """Rewrite one X-g-X sandwich into g with flipped polarity."""
+        for i in range(len(gates) - 2):
+            if gates[i].num_controls == 0 and gates[i] == gates[i + 2]:
+                absorbed = _absorb_not(gates[i], gates[i + 1])
+                if absorbed is not None:
+                    gates[i:i + 3] = [absorbed]
+                    return True
+        return False
+
+    for _ in range(max_rounds):
+        changed = False
+        while cancel_once():
+            changed = True
+        while absorb_once():
+            changed = True
+        if not changed:
+            break
+    out = ReversibleCircuit(circuit.num_lines, circuit.name + "_simp")
+    out.extend(gates)
+    return out
+
+
+# ----------------------------------------------------------------------
+# quantum gate cancellation
+# ----------------------------------------------------------------------
+def _inverse_pair(a: Gate, b: Gate) -> bool:
+    if a.qubits != b.qubits or a.cbits or b.cbits:
+        return False
+    if a.name == b.name and a.name in SELF_INVERSE and not a.params:
+        return a.targets == b.targets and a.controls == b.controls
+    if ADJOINT_NAME.get(a.name) == b.name:
+        return a.targets == b.targets and a.controls == b.controls
+    if (
+        a.name == b.name
+        and a.base_name in ("rx", "ry", "rz", "p")
+        and abs(a.params[0] + b.params[0]) < 1e-12
+    ):
+        return True
+    return False
+
+
+def _mergeable_rotation(a: Gate, b: Gate) -> Optional[Gate]:
+    if (
+        a.name == b.name
+        and a.base_name in ("rx", "ry", "rz", "p")
+        and a.targets == b.targets
+        and a.controls == b.controls
+    ):
+        angle = a.params[0] + b.params[0]
+        if abs(angle) < 1e-12:
+            return Gate("id", a.targets)
+        return Gate(a.name, a.targets, a.controls, (angle,))
+    return None
+
+
+def _gates_commute(a: Gate, b: Gate) -> bool:
+    """Conservative disjointness-based commutation."""
+    return not set(a.qubits) & set(b.qubits)
+
+
+def cancel_adjacent_gates(
+    circuit: QuantumCircuit, max_rounds: int = 10
+) -> QuantumCircuit:
+    """Inverse-pair cancellation + rotation merging to a fixpoint."""
+    # stack-based pass: each incoming gate scans backwards over
+    # committed gates, skipping qubit-disjoint ones, until it finds an
+    # inverse partner (cancel), a mergeable rotation (merge), or a
+    # blocking gate (commit).  Nested pairs (h x x h) resolve in one
+    # pass; pairs exposed by mid-stack deletions need another round, so
+    # iterate to a fixpoint.
+    gates = [g for g in circuit.gates if g.name != "id"]
+    for _ in range(max_rounds):
+        out: List[Gate] = []
+        changed = False
+        for incoming in gates:
+            if incoming.name == "barrier" or incoming.is_measurement:
+                out.append(incoming)
+                continue
+            placed = False
+            for j in range(len(out) - 1, -1, -1):
+                other = out[j]
+                if other.name == "barrier" or other.is_measurement:
+                    break
+                if _inverse_pair(other, incoming):
+                    del out[j]
+                    placed = True
+                    changed = True
+                    break
+                merged = _mergeable_rotation(other, incoming)
+                if merged is not None:
+                    if merged.name == "id":
+                        del out[j]
+                    else:
+                        out[j] = merged
+                    placed = True
+                    changed = True
+                    break
+                if not _gates_commute(other, incoming):
+                    break
+            if not placed:
+                out.append(incoming)
+        gates = out
+        if not changed:
+            break
+    out = QuantumCircuit(
+        circuit.num_qubits, circuit.num_clbits, circuit.name + "_simp"
+    )
+    out.extend(g for g in gates if g.name != "id")
+    return out

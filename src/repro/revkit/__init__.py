@@ -1,0 +1,6 @@
+"""RevKit-style command shell and benchmark generators (Sec. VI)."""
+
+from . import generators
+from .shell import RevKitShell, ShellError, dbs, tbs
+
+__all__ = ["generators", "RevKitShell", "ShellError", "dbs", "tbs"]

@@ -1,0 +1,361 @@
+"""The RevKit command shell.
+
+RevKit "is executed as a command-based shell application, which allows
+to perform synthesis scripts by combining a variety of different
+commands" (Sec. VI).  The paper's running pipeline, Eq. (5):
+
+    revgen --hwb 4; tbs; revsimp; rptm; tpar; ps -c
+
+:class:`RevKitShell` implements that interface over this package's
+algorithms.  Commands operate on a store holding the current function
+(permutation or truth table), the current reversible (MCT) circuit,
+and the current quantum circuit.  Every command is also exposed as a
+Python method, mirroring RevKit's Python bindings
+(``revkit.revgen(hwb=4)``).
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Callable, Dict, List, Optional, Union
+
+from ..boolean.permutation import BitPermutation
+from ..boolean.truth_table import TruthTable
+from ..core.circuit import QuantumCircuit
+from ..core.statistics import circuit_statistics
+from ..mapping.barenco import map_to_clifford_t
+from ..optimization.simplify import cancel_adjacent_gates, simplify_reversible
+from ..optimization.templates import template_optimize
+from ..optimization.tpar import tpar_optimize
+from ..synthesis.decomposition import decomposition_based_synthesis
+from ..synthesis.esop_based import esop_synthesis
+from ..synthesis.exact import exact_synthesis
+from ..synthesis.reversible import ReversibleCircuit
+from ..synthesis.transformation import (
+    bidirectional_synthesis,
+    transformation_based_synthesis,
+)
+from . import generators
+
+
+class ShellError(RuntimeError):
+    """Raised on invalid commands or missing store entries."""
+
+
+class RevKitShell:
+    """Command interpreter with a function/circuit store."""
+
+    def __init__(self) -> None:
+        self.function: Optional[Union[BitPermutation, TruthTable]] = None
+        self.reversible: Optional[ReversibleCircuit] = None
+        self.quantum: Optional[QuantumCircuit] = None
+        self.log: List[str] = []
+        self._commands: Dict[str, Callable[..., str]] = {
+            "revgen": self._cmd_revgen,
+            "tbs": self._cmd_tbs,
+            "dbs": self._cmd_dbs,
+            "esopbs": self._cmd_esopbs,
+            "exs": self._cmd_exact,
+            "revsimp": self._cmd_revsimp,
+            "templ": self._cmd_templ,
+            "rptm": self._cmd_rptm,
+            "tpar": self._cmd_tpar,
+            "cancel": self._cmd_cancel,
+            "ps": self._cmd_ps,
+            "simulate": self._cmd_simulate,
+            "verify": self._cmd_verify,
+            "write_qasm": self._cmd_write_qasm,
+        }
+
+    # ------------------------------------------------------------------
+    # command-line entry point
+    # ------------------------------------------------------------------
+    def run(self, script: str) -> List[str]:
+        """Execute a semicolon-separated command script (Eq. (5) style).
+
+        Returns one output string per command, also kept in ``log``.
+        """
+        outputs = []
+        for part in script.split(";"):
+            command = part.strip()
+            if not command:
+                continue
+            outputs.append(self.execute(command))
+        return outputs
+
+    def execute(self, command: str) -> str:
+        tokens = shlex.split(command)
+        name, args = tokens[0], tokens[1:]
+        handler = self._commands.get(name)
+        if handler is None:
+            raise ShellError(f"unknown command {name!r}")
+        output = handler(*args)
+        self.log.append(f"{command}: {output}")
+        return output
+
+    # ------------------------------------------------------------------
+    # store helpers
+    # ------------------------------------------------------------------
+    def _need_permutation(self) -> BitPermutation:
+        if isinstance(self.function, BitPermutation):
+            return self.function
+        raise ShellError("no permutation in store (run revgen first)")
+
+    def _need_reversible(self) -> ReversibleCircuit:
+        if self.reversible is None:
+            raise ShellError("no reversible circuit in store")
+        return self.reversible
+
+    def _need_quantum(self) -> QuantumCircuit:
+        if self.quantum is None:
+            raise ShellError("no quantum circuit in store (run rptm first)")
+        return self.quantum
+
+    # ------------------------------------------------------------------
+    # commands (also usable as python methods)
+    # ------------------------------------------------------------------
+    def _cmd_revgen(self, *args: str) -> str:
+        options = _parse_options(args)
+        if "hwb" in options:
+            self.function = generators.hwb(int(options["hwb"]))
+        elif "random" in options:
+            seed = int(options.get("seed", 0))
+            self.function = generators.random_permutation(
+                int(options["random"]), seed=seed
+            )
+        elif "adder" in options:
+            self.function = generators.modular_adder(
+                int(options["adder"]), int(options.get("const", 1))
+            )
+        elif "rotate" in options:
+            self.function = generators.bit_rotation(
+                int(options["rotate"]), int(options.get("amount", 1))
+            )
+        elif "gray" in options:
+            self.function = generators.gray_code(int(options["gray"]))
+        elif "bent" in options:
+            self.function = generators.inner_product_bent(int(options["bent"]))
+        elif "randfunc" in options:
+            seed = int(options.get("seed", 0))
+            self.function = generators.random_function(
+                int(options["randfunc"]), seed=seed
+            )
+        else:
+            raise ShellError(
+                "revgen needs one of --hwb/--random/--adder/--rotate/"
+                "--gray/--bent/--randfunc"
+            )
+        kind = type(self.function).__name__
+        return f"generated {kind}"
+
+    def revgen(self, **options) -> str:
+        return self._cmd_revgen(
+            *[f"--{k}={v}" for k, v in options.items()]
+        )
+
+    def _cmd_tbs(self, *args: str) -> str:
+        options = _parse_options(args)
+        perm = self._need_permutation()
+        if "bidirectional" in options or "bidir" in options:
+            self.reversible = bidirectional_synthesis(perm)
+        else:
+            self.reversible = transformation_based_synthesis(perm)
+        return f"{len(self.reversible)} gates"
+
+    def tbs(self, bidirectional: bool = False) -> str:
+        return self._cmd_tbs(*(["--bidirectional"] if bidirectional else []))
+
+    def _cmd_dbs(self, *args: str) -> str:
+        perm = self._need_permutation()
+        self.reversible = decomposition_based_synthesis(perm)
+        return f"{len(self.reversible)} gates"
+
+    def dbs(self) -> str:
+        return self._cmd_dbs()
+
+    def _cmd_esopbs(self, *args: str) -> str:
+        if not isinstance(self.function, TruthTable):
+            raise ShellError("esopbs needs a single-output truth table")
+        self.reversible = esop_synthesis(self.function)
+        return f"{len(self.reversible)} gates on {self.reversible.num_lines} lines"
+
+    def esopbs(self) -> str:
+        return self._cmd_esopbs()
+
+    def _cmd_exact(self, *args: str) -> str:
+        perm = self._need_permutation()
+        circuit = exact_synthesis(perm)
+        if circuit is None:
+            raise ShellError("exact synthesis exceeded the gate bound")
+        self.reversible = circuit
+        return f"{len(circuit)} gates (optimal)"
+
+    def exs(self) -> str:
+        return self._cmd_exact()
+
+    def _cmd_revsimp(self, *args: str) -> str:
+        before = len(self._need_reversible())
+        self.reversible = simplify_reversible(self.reversible)
+        return f"{before} -> {len(self.reversible)} gates"
+
+    def revsimp(self) -> str:
+        return self._cmd_revsimp()
+
+    def _cmd_templ(self, *args: str) -> str:
+        before = len(self._need_reversible())
+        self.reversible = template_optimize(self.reversible)
+        return f"{before} -> {len(self.reversible)} gates"
+
+    def templ(self) -> str:
+        return self._cmd_templ()
+
+    def _cmd_rptm(self, *args: str) -> str:
+        options = _parse_options(args)
+        relative_phase = "no-relative-phase" not in options
+        self.quantum = map_to_clifford_t(
+            self._need_reversible(), relative_phase=relative_phase
+        )
+        return (
+            f"{len(self.quantum)} gates, T={self.quantum.t_count()}, "
+            f"{self.quantum.num_qubits} qubits"
+        )
+
+    def rptm(self, relative_phase: bool = True) -> str:
+        return self._cmd_rptm(
+            *([] if relative_phase else ["--no-relative-phase"])
+        )
+
+    def _cmd_tpar(self, *args: str) -> str:
+        circuit = self._need_quantum()
+        before = circuit.t_count()
+        optimized = tpar_optimize(cancel_adjacent_gates(circuit))
+        optimized = cancel_adjacent_gates(optimized)
+        self.quantum = optimized
+        return f"T: {before} -> {optimized.t_count()}"
+
+    def tpar(self) -> str:
+        return self._cmd_tpar()
+
+    def _cmd_cancel(self, *args: str) -> str:
+        circuit = self._need_quantum()
+        before = len(circuit)
+        self.quantum = cancel_adjacent_gates(circuit)
+        return f"{before} -> {len(self.quantum)} gates"
+
+    def cancel(self) -> str:
+        return self._cmd_cancel()
+
+    def _cmd_ps(self, *args: str) -> str:
+        options = _parse_options(args)
+        if "c" in options or "-c" in options:
+            circuit = self.quantum
+            if circuit is not None:
+                return str(circuit_statistics(circuit))
+            if self.reversible is not None:
+                rev = self.reversible
+                return (
+                    f"lines: {rev.num_lines}  gates: {len(rev)}  "
+                    f"quantum-cost: {rev.quantum_cost()}"
+                )
+            raise ShellError("nothing in store to print")
+        if self.function is not None:
+            if isinstance(self.function, BitPermutation):
+                return (
+                    f"permutation on {self.function.num_bits} bits, "
+                    f"{len(self.function.cycles())} nontrivial cycles"
+                )
+            return (
+                f"function on {self.function.num_vars} variables, "
+                f"{self.function.count_ones()} ones"
+            )
+        raise ShellError("nothing in store to print")
+
+    def ps(self, circuit: bool = False) -> str:
+        return self._cmd_ps(*(["-c"] if circuit else []))
+
+    def _cmd_simulate(self, *args: str) -> str:
+        rev = self._need_reversible()
+        perm = rev.permutation()
+        if isinstance(self.function, BitPermutation):
+            ok = perm == self.function
+            return f"matches specification: {ok}"
+        return f"permutation head: {perm.image[:8]}"
+
+    def simulate(self) -> str:
+        return self._cmd_simulate()
+
+    def _cmd_verify(self, *args: str) -> str:
+        """Check the quantum circuit against the reversible circuit.
+
+        The mapped circuit may use extra (clean) ancilla lines; the
+        check is that |x>|0> -> e^{i phi}|P(x)>|0> for every data
+        input x, with P the reversible circuit's permutation
+        (Sec. IX's verification obligation).  Limited to widths where
+        a dense unitary is feasible.
+        """
+        import numpy as np
+
+        from ..core.unitary import circuit_unitary
+
+        quantum = self._need_quantum()
+        reversible = self._need_reversible()
+        if quantum.num_qubits > 11:
+            raise ShellError("circuit too wide for dense verification")
+        perm = reversible.permutation()
+        unitary = circuit_unitary(quantum)
+        n = reversible.num_lines
+        for x in range(1 << n):
+            column = unitary[:, x]
+            index = int(np.argmax(np.abs(column)))
+            if (
+                abs(abs(column[index]) - 1.0) > 1e-9
+                or np.abs(column).sum() - abs(column[index]) > 1e-9
+                or index != perm(x)
+            ):
+                return f"equivalent: False (mismatch at input {x})"
+        return "equivalent: True"
+
+    def verify(self) -> str:
+        return self._cmd_verify()
+
+    def _cmd_write_qasm(self, *args: str) -> str:
+        if not args:
+            raise ShellError("write_qasm needs a path")
+        circuit = self._need_quantum()
+        text = circuit.to_qasm()
+        with open(args[0], "w", encoding="utf-8") as handle:
+            handle.write(text)
+        return f"wrote {len(text.splitlines())} lines to {args[0]}"
+
+    def write_qasm(self, path: str) -> str:
+        return self._cmd_write_qasm(path)
+
+
+def _parse_options(args) -> Dict[str, str]:
+    """Parse ``--key value`` / ``--key=value`` / ``-c`` style options."""
+    options: Dict[str, str] = {}
+    tokens = list(args)
+    index = 0
+    while index < len(tokens):
+        token = tokens[index]
+        if token.startswith("--"):
+            body = token[2:]
+            if "=" in body:
+                key, value = body.split("=", 1)
+                options[key] = value
+            elif index + 1 < len(tokens) and not tokens[index + 1].startswith("-"):
+                options[body] = tokens[index + 1]
+                index += 1
+            else:
+                options[body] = "1"
+        elif token.startswith("-"):
+            options[token[1:]] = "1"
+        else:
+            options[token] = "1"
+        index += 1
+    return options
+
+
+# synthesis handles for PermutationOracle(synth=...), paper-style
+tbs = transformation_based_synthesis
+dbs = decomposition_based_synthesis

@@ -1,0 +1,25 @@
+"""Simulation backends: statevector, stabilizer, noisy, resource counter."""
+
+from .noise import NoiseModel, NoisyBackend
+from .resources import ResourceCounter, ResourceEstimate
+from .stabilizer import StabilizerSimulator, StabilizerState, StabilizerError
+from .statevector import (
+    SimulationError,
+    SimulationResult,
+    Statevector,
+    StatevectorSimulator,
+)
+
+__all__ = [
+    "NoiseModel",
+    "NoisyBackend",
+    "ResourceCounter",
+    "ResourceEstimate",
+    "StabilizerSimulator",
+    "StabilizerState",
+    "StabilizerError",
+    "SimulationError",
+    "SimulationResult",
+    "Statevector",
+    "StatevectorSimulator",
+]

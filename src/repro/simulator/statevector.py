@@ -1,0 +1,353 @@
+"""Full state-vector simulator.
+
+The local simulator backend of the paper's ProjectQ flow (Sec. VII) and
+the reference oracle for every synthesis/optimization test in this
+repository.  States are numpy complex vectors of length ``2**n`` with
+qubit 0 as the least-significant bit of the basis-state index.
+
+Gates are applied by reshaping the state into an ``n``-dimensional
+tensor and contracting the gate's local matrix over the touched axes,
+which is O(2^n) per gate rather than O(4^n).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.circuit import QuantumCircuit
+from ..core.gates import Gate
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid simulator operations."""
+
+
+class Statevector:
+    """Mutable n-qubit pure state."""
+
+    def __init__(self, num_qubits: int, data: Optional[np.ndarray] = None):
+        if num_qubits < 0:
+            raise ValueError("num_qubits must be non-negative")
+        self.num_qubits = num_qubits
+        dim = 1 << num_qubits
+        if data is None:
+            self.data = np.zeros(dim, dtype=complex)
+            self.data[0] = 1.0
+        else:
+            data = np.asarray(data, dtype=complex)
+            if data.shape != (dim,):
+                raise ValueError(f"state must have length {dim}")
+            self.data = data.copy()
+
+    @classmethod
+    def from_basis_state(cls, num_qubits: int, basis: int) -> "Statevector":
+        """Computational basis state |basis>."""
+        if not 0 <= basis < (1 << num_qubits):
+            raise ValueError("basis state out of range")
+        state = cls(num_qubits)
+        state.data[0] = 0.0
+        state.data[basis] = 1.0
+        return state
+
+    @classmethod
+    def from_label(cls, label: str) -> "Statevector":
+        """Build a product state from a label like ``'01+'``.
+
+        Character i of the label describes qubit ``n-1-i`` (big-endian,
+        as states are conventionally written), from {0, 1, +, -}.
+        """
+        num_qubits = len(label)
+        state = cls(0)
+        state.data = np.array([1.0], dtype=complex)
+        vectors = {
+            "0": np.array([1.0, 0.0], dtype=complex),
+            "1": np.array([0.0, 1.0], dtype=complex),
+            "+": np.array([1.0, 1.0], dtype=complex) / math.sqrt(2),
+            "-": np.array([1.0, -1.0], dtype=complex) / math.sqrt(2),
+        }
+        for char in label:
+            if char not in vectors:
+                raise ValueError(f"unknown state label character {char!r}")
+            state.data = np.kron(state.data, vectors[char])
+        state.num_qubits = num_qubits
+        return state
+
+    def copy(self) -> "Statevector":
+        return Statevector(self.num_qubits, self.data)
+
+    # ------------------------------------------------------------------
+    # evolution
+    # ------------------------------------------------------------------
+    def apply_matrix(self, matrix: np.ndarray, qubits: Sequence[int]) -> None:
+        """Apply a ``2^k x 2^k`` matrix to the listed qubits.
+
+        ``qubits[0]`` is the most-significant bit of the matrix's local
+        index space (matching :meth:`Gate.matrix` ordering).
+        """
+        k = len(qubits)
+        if matrix.shape != (1 << k, 1 << k):
+            raise ValueError("matrix does not match qubit count")
+        n = self.num_qubits
+        tensor = self.data.reshape([2] * n)
+        axes = [n - 1 - q for q in qubits]
+        local = matrix.reshape([2] * (2 * k))
+        tensor = np.tensordot(local, tensor, axes=(list(range(k, 2 * k)), axes))
+        # restore axis ordering (same logic as core.unitary)
+        remaining = [a for a in range(n) if a not in axes]
+        out_index = {axis: i for i, axis in enumerate(axes)}
+        rem_index = {axis: k + i for i, axis in enumerate(remaining)}
+        perm = [
+            out_index[a] if a in out_index else rem_index[a] for a in range(n)
+        ]
+        self.data = np.ascontiguousarray(np.transpose(tensor, perm)).reshape(-1)
+
+    def apply_gate(self, gate: Gate) -> None:
+        """Apply a unitary gate (with fast paths for classical gates)."""
+        if gate.name == "barrier" or gate.name == "id":
+            return
+        if not gate.is_unitary:
+            raise SimulationError(
+                f"apply_gate cannot handle non-unitary {gate.name!r}"
+            )
+        if gate.base_name == "x" and not gate.params:
+            self._apply_mcx(gate.controls, gate.targets[0])
+            return
+        if gate.base_name == "z" and not gate.params:
+            self._apply_mcz(gate.controls, gate.targets[0])
+            return
+        self.apply_matrix(gate.matrix(), gate.qubits)
+
+    def _apply_mcx(self, controls: Tuple[int, ...], target: int) -> None:
+        """Permutation fast path for X/CX/CCX/MCX."""
+        indices = np.arange(self.data.size)
+        mask = np.ones(self.data.size, dtype=bool)
+        for ctl in controls:
+            mask &= (indices >> ctl) & 1 == 1
+        flipped = indices ^ (1 << target)
+        new_data = self.data.copy()
+        new_data[flipped[mask]] = self.data[indices[mask]]
+        self.data = new_data
+
+    def _apply_mcz(self, controls: Tuple[int, ...], target: int) -> None:
+        """Diagonal fast path for Z/CZ/CCZ/MCZ."""
+        indices = np.arange(self.data.size)
+        mask = (indices >> target) & 1 == 1
+        for ctl in controls:
+            mask &= (indices >> ctl) & 1 == 1
+        self.data[mask] *= -1.0
+
+    def evolve(self, circuit: QuantumCircuit) -> "Statevector":
+        """Apply all unitary gates of ``circuit`` in place; returns self."""
+        if circuit.num_qubits != self.num_qubits:
+            raise SimulationError("circuit width does not match state")
+        for gate in circuit.gates:
+            if gate.is_measurement or gate.name == "reset":
+                raise SimulationError(
+                    "evolve() only handles unitary circuits; "
+                    "use StatevectorSimulator.run for measurements"
+                )
+            self.apply_gate(gate)
+        return self
+
+    # ------------------------------------------------------------------
+    # inspection / measurement
+    # ------------------------------------------------------------------
+    def probabilities(self) -> np.ndarray:
+        return np.abs(self.data) ** 2
+
+    def probability_of(self, basis: int) -> float:
+        return float(abs(self.data[basis]) ** 2)
+
+    def amplitude(self, basis: int) -> complex:
+        return complex(self.data[basis])
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self.data))
+
+    def fidelity(self, other: "Statevector") -> float:
+        return float(abs(np.vdot(self.data, other.data)) ** 2)
+
+    def equiv(self, other: "Statevector", atol: float = 1e-9) -> bool:
+        """Equality up to global phase."""
+        return self.fidelity(other) > 1.0 - atol
+
+    def measure_qubit(
+        self, qubit: int, rng: np.random.Generator
+    ) -> int:
+        """Projectively measure one qubit, collapsing the state."""
+        indices = np.arange(self.data.size)
+        mask_one = ((indices >> qubit) & 1).astype(bool)
+        p_one = float(np.sum(np.abs(self.data[mask_one]) ** 2))
+        outcome = 1 if rng.random() < p_one else 0
+        keep = mask_one if outcome else ~mask_one
+        prob = p_one if outcome else 1.0 - p_one
+        if prob <= 0.0:
+            raise SimulationError("measurement of zero-probability branch")
+        new_data = np.zeros_like(self.data)
+        new_data[keep] = self.data[keep] / math.sqrt(prob)
+        self.data = new_data
+        return outcome
+
+    def reset_qubit(self, qubit: int, rng: np.random.Generator) -> None:
+        """Measure and, if 1, flip back to |0>."""
+        if self.measure_qubit(qubit, rng) == 1:
+            self._apply_mcx((), qubit)
+
+    def sample_counts(
+        self,
+        shots: int,
+        rng: np.random.Generator,
+        qubits: Optional[Sequence[int]] = None,
+    ) -> Dict[int, int]:
+        """Sample measurement outcomes without collapsing the state.
+
+        Returns a histogram mapping the integer outcome (bit i of the
+        key = measured value of ``qubits[i]``) to its frequency.
+        """
+        probs = self.probabilities()
+        outcomes = rng.choice(probs.size, size=shots, p=probs / probs.sum())
+        if qubits is None:
+            qubits = range(self.num_qubits)
+        counts: Dict[int, int] = {}
+        for outcome in outcomes:
+            key = 0
+            for i, q in enumerate(qubits):
+                key |= ((int(outcome) >> q) & 1) << i
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def __str__(self) -> str:
+        terms = []
+        for basis, amp in enumerate(self.data):
+            if abs(amp) > 1e-9:
+                label = format(basis, f"0{self.num_qubits}b")
+                terms.append(f"({amp:.4g})|{label}>")
+        return " + ".join(terms) if terms else "0"
+
+
+class StatevectorSimulator:
+    """Shot-based simulator supporting mid-circuit measurement/reset."""
+
+    def __init__(self, seed: Optional[int] = None):
+        self._seed = seed
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        shots: int = 1,
+        initial_state: Optional[Statevector] = None,
+    ) -> "SimulationResult":
+        """Execute ``circuit`` for ``shots`` repetitions.
+
+        If the circuit's measurements are all terminal, a single state
+        evolution is sampled ``shots`` times; otherwise each shot is
+        simulated independently.
+        """
+        rng = np.random.default_rng(self._seed)
+        if not circuit.has_measurements():
+            state = initial_state.copy() if initial_state else Statevector(
+                circuit.num_qubits
+            )
+            state.evolve(circuit)
+            return SimulationResult({}, state, shots)
+
+        if _measurements_terminal(circuit):
+            state = initial_state.copy() if initial_state else Statevector(
+                circuit.num_qubits
+            )
+            measure_map: List[Tuple[int, int]] = []
+            for gate in circuit.gates:
+                if gate.is_measurement:
+                    measure_map.append((gate.targets[0], gate.cbits[0]))
+                elif gate.name == "reset":
+                    raise SimulationError("reset after measurement unsupported")
+                else:
+                    state.apply_gate(gate)
+            probs = state.probabilities()
+            outcomes = rng.choice(
+                probs.size, size=shots, p=probs / probs.sum()
+            )
+            counts: Dict[int, int] = {}
+            for outcome in outcomes:
+                key = 0
+                for qubit, clbit in measure_map:
+                    key |= ((int(outcome) >> qubit) & 1) << clbit
+                counts[key] = counts.get(key, 0) + 1
+            return SimulationResult(counts, state, shots)
+
+        counts = {}
+        last_state = None
+        for _ in range(shots):
+            state = initial_state.copy() if initial_state else Statevector(
+                circuit.num_qubits
+            )
+            creg = 0
+            for gate in circuit.gates:
+                if gate.is_measurement:
+                    bit = state.measure_qubit(gate.targets[0], rng)
+                    clbit = gate.cbits[0]
+                    creg = (creg & ~(1 << clbit)) | (bit << clbit)
+                elif gate.name == "reset":
+                    state.reset_qubit(gate.targets[0], rng)
+                else:
+                    state.apply_gate(gate)
+            counts[creg] = counts.get(creg, 0) + 1
+            last_state = state
+        return SimulationResult(counts, last_state, shots)
+
+    def statevector(self, circuit: QuantumCircuit) -> Statevector:
+        """Evolve |0..0> through a unitary circuit and return the state."""
+        state = Statevector(circuit.num_qubits)
+        return state.evolve(circuit)
+
+
+def _measurements_terminal(circuit: QuantumCircuit) -> bool:
+    """True if no unitary gate follows a measurement on any qubit."""
+    measured = set()
+    for gate in circuit.gates:
+        if gate.is_measurement:
+            measured.add(gate.targets[0])
+        elif gate.name == "barrier":
+            continue
+        else:
+            if any(q in measured for q in gate.qubits):
+                return False
+    return True
+
+
+class SimulationResult:
+    """Counts + final state from a simulator run."""
+
+    def __init__(
+        self,
+        counts: Dict[int, int],
+        statevector: Optional[Statevector],
+        shots: int,
+    ):
+        self.counts = counts
+        self.final_state = statevector
+        self.shots = shots
+
+    def counts_by_bitstring(self, width: Optional[int] = None) -> Dict[str, int]:
+        """Counts keyed by bitstrings (most-significant bit first)."""
+        if width is None:
+            width = max(
+                (key.bit_length() for key in self.counts), default=1
+            )
+            if self.final_state is not None:
+                width = max(width, self.final_state.num_qubits)
+        return {
+            format(key, f"0{width}b"): value
+            for key, value in sorted(self.counts.items())
+        }
+
+    def most_frequent(self) -> int:
+        if not self.counts:
+            raise SimulationError("no measurement results recorded")
+        return max(self.counts, key=lambda k: self.counts[k])
+
+    def probability(self, outcome: int) -> float:
+        return self.counts.get(outcome, 0) / self.shots

@@ -1,0 +1,49 @@
+"""Unit tests for Bernstein–Vazirani."""
+
+import pytest
+
+from repro.algorithms.bernstein_vazirani import (
+    bernstein_vazirani_circuit,
+    linear_function,
+    solve_bernstein_vazirani,
+)
+from repro.boolean.esop import minimize_esop
+
+
+class TestLinearFunction:
+    def test_values(self):
+        table = linear_function(3, 0b101)
+        assert table(0b001) == 1
+        assert table(0b101) == 0
+        assert table(0b011) == 1
+
+    def test_offset(self):
+        plain = linear_function(2, 0b01, 0)
+        offset = linear_function(2, 0b01, 1)
+        assert plain == ~offset
+
+    def test_esop_is_z_layer(self):
+        """A linear function minimizes to single-literal cubes."""
+        cubes = minimize_esop(linear_function(4, 0b1011))
+        assert len(cubes) == 3
+        assert all(c.num_literals() == 1 for c in cubes)
+
+
+class TestSolve:
+    @pytest.mark.parametrize("a", [0, 1, 0b101, 0b111, 0b1101, 0b11111])
+    def test_recovers_mask(self, a):
+        n = max(a.bit_length(), 1) if a else 3
+        n = max(n, 3)
+        result = solve_bernstein_vazirani(n, a)
+        assert result.success
+        assert result.recovered == a
+
+    def test_offset_does_not_affect_answer(self):
+        for b in (0, 1):
+            result = solve_bernstein_vazirani(4, 0b1010, b=b)
+            assert result.recovered == 0b1010
+
+    def test_single_oracle_query(self):
+        circuit = bernstein_vazirani_circuit(linear_function(5, 0b10101))
+        # oracle = 3 Z gates; everything else is 2 H layers + measures
+        assert circuit.count_ops().get("z", 0) == 3

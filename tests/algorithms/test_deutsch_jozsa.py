@@ -1,0 +1,54 @@
+"""Unit tests for Deutsch–Jozsa."""
+
+import random
+
+import pytest
+
+from repro.algorithms.deutsch_jozsa import (
+    deutsch_jozsa_circuit,
+    solve_deutsch_jozsa,
+)
+from repro.boolean.truth_table import TruthTable
+
+
+class TestDeutschJozsa:
+    def test_constant_functions(self):
+        for value in (False, True):
+            table = TruthTable.constant(3, value)
+            assert solve_deutsch_jozsa(table).verdict == "constant"
+
+    def test_balanced_projection(self):
+        table = TruthTable.projection(3, 1)
+        assert solve_deutsch_jozsa(table).verdict == "balanced"
+
+    def test_balanced_parity(self):
+        table = TruthTable.from_function(4, lambda a, b, c, d: a ^ b ^ c ^ d)
+        assert solve_deutsch_jozsa(table).verdict == "balanced"
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_balanced_functions(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 4)
+        # random balanced function: shuffle half ones
+        positions = list(range(1 << n))
+        rng.shuffle(positions)
+        table = TruthTable(n)
+        for x in positions[: (1 << n) // 2]:
+            table.bits |= 1 << x
+        assert solve_deutsch_jozsa(table).verdict == "balanced"
+
+    def test_promise_violation_rejected(self):
+        table = TruthTable(2, 0b0001)  # 1 one of 4: neither
+        with pytest.raises(ValueError):
+            solve_deutsch_jozsa(table)
+
+    def test_single_query(self):
+        """The circuit contains exactly one oracle block: gate count of
+        the oracle equals the ESOP gates, no repetition."""
+        from repro.boolean.esop import minimize_esop
+
+        table = TruthTable.projection(3, 0)
+        circuit = deutsch_jozsa_circuit(table)
+        non_oracle = 3 + 3 + 3  # H layers + measures
+        cubes = minimize_esop(table)
+        assert len(circuit) <= non_oracle + 4 * len(cubes)

@@ -1,0 +1,74 @@
+"""Unit tests for Simon's algorithm."""
+
+import pytest
+
+from repro.algorithms.simon import (
+    SimonInstance,
+    simon_circuit,
+    solve_simon,
+)
+
+
+class TestInstance:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_promise_holds(self, seed):
+        instance = SimonInstance.random(3, seed=seed)
+        assert instance.verify_promise()
+        assert instance.secret != 0
+
+    def test_two_to_one(self):
+        instance = SimonInstance.random(3, seed=1)
+        image = instance.function.image()
+        from collections import Counter
+
+        counts = Counter(image)
+        assert all(count == 2 for count in counts.values())
+
+    def test_reproducible(self):
+        a = SimonInstance.random(3, seed=5)
+        b = SimonInstance.random(3, seed=5)
+        assert a.secret == b.secret
+        assert a.function.image() == b.function.image()
+
+
+class TestCircuit:
+    def test_layout(self):
+        instance = SimonInstance.random(3, seed=2)
+        circuit = simon_circuit(instance)
+        # n input qubits + n output lines from the Bennett oracle
+        assert circuit.num_qubits == 6
+        measured = {g.targets[0] for g in circuit.gates if g.is_measurement}
+        assert measured == {0, 1, 2}
+
+    def test_oracle_uses_xor_style_gates(self):
+        instance = SimonInstance.random(2, seed=3)
+        circuit = simon_circuit(instance)
+        names = set(circuit.count_ops())
+        assert names <= {"h", "x", "cx", "ccx", "mcx", "measure"}
+
+
+class TestSolve:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_recovers_secret_n3(self, seed):
+        instance = SimonInstance.random(3, seed=seed)
+        result = solve_simon(instance, seed=seed)
+        assert result.success
+        assert result.recovered == instance.secret
+
+    def test_recovers_secret_n4(self):
+        instance = SimonInstance.random(4, seed=11)
+        result = solve_simon(instance, seed=4)
+        assert result.success
+
+    def test_sampled_equations_orthogonal_to_secret(self):
+        instance = SimonInstance.random(3, seed=7)
+        result = solve_simon(instance, seed=7)
+        for equation in result.equations:
+            assert bin(equation & instance.secret).count("1") % 2 == 0
+
+    def test_query_count_linear_not_exponential(self):
+        """O(n) queries suffice (vs 2^(n/2) classically)."""
+        instance = SimonInstance.random(4, seed=2)
+        result = solve_simon(instance, seed=2)
+        assert result.success
+        assert result.quantum_queries <= 20

@@ -1,0 +1,126 @@
+"""Unit tests for the ROBDD package."""
+
+import random
+
+import pytest
+
+from repro.boolean.bdd import ONE, ZERO, Bdd
+from repro.boolean.truth_table import TruthTable
+
+
+class TestNodeConstruction:
+    def test_reduction_rule(self):
+        bdd = Bdd(2)
+        # low == high collapses
+        assert bdd.make_node(0, ONE, ONE) == ONE
+
+    def test_unique_table_sharing(self):
+        bdd = Bdd(2)
+        a = bdd.make_node(0, ZERO, ONE)
+        b = bdd.make_node(0, ZERO, ONE)
+        assert a == b
+
+    def test_variable(self):
+        bdd = Bdd(3)
+        var = bdd.variable(1)
+        assert bdd.evaluate(var, 0b010) == 1
+        assert bdd.evaluate(var, 0b101) == 0
+
+    def test_variable_range_check(self):
+        with pytest.raises(ValueError):
+            Bdd(2).variable(2)
+
+
+class TestOperations:
+    def test_ite_basics(self):
+        bdd = Bdd(2)
+        x0 = bdd.variable(0)
+        assert bdd.ite(ONE, x0, ZERO) == x0
+        assert bdd.ite(ZERO, x0, ONE) == ONE
+        assert bdd.ite(x0, ONE, ZERO) == x0
+
+    def test_and_or_xor_not(self):
+        bdd = Bdd(2)
+        x0, x1 = bdd.variable(0), bdd.variable(1)
+        conj = bdd.apply_and(x0, x1)
+        disj = bdd.apply_or(x0, x1)
+        xor = bdd.apply_xor(x0, x1)
+        neg = bdd.apply_not(x0)
+        for x in range(4):
+            a, b = x & 1, (x >> 1) & 1
+            assert bdd.evaluate(conj, x) == (a & b)
+            assert bdd.evaluate(disj, x) == (a | b)
+            assert bdd.evaluate(xor, x) == (a ^ b)
+            assert bdd.evaluate(neg, x) == 1 - a
+
+    def test_de_morgan(self):
+        bdd = Bdd(3)
+        x, y = bdd.variable(0), bdd.variable(2)
+        left = bdd.apply_not(bdd.apply_and(x, y))
+        right = bdd.apply_or(bdd.apply_not(x), bdd.apply_not(y))
+        assert left == right  # canonicity gives structural equality
+
+
+class TestTruthTableBridge:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_round_trip(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(1, 6)
+        table = TruthTable(n, rng.getrandbits(1 << n))
+        bdd = Bdd(n)
+        root = bdd.from_truth_table(table)
+        assert bdd.to_truth_table(root) == table
+
+    def test_terminal_cases(self):
+        bdd = Bdd(3)
+        assert bdd.from_truth_table(TruthTable(3)) == ZERO
+        assert bdd.from_truth_table(TruthTable.constant(3, True)) == ONE
+
+    def test_canonicity(self):
+        """Equal functions build identical roots."""
+        bdd = Bdd(4)
+        table = TruthTable.inner_product(2)
+        root_a = bdd.from_truth_table(table)
+        x = [bdd.variable(i) for i in range(4)]
+        # x0y0 ^ x1y1 with y = vars 2, 3
+        root_b = bdd.apply_xor(
+            bdd.apply_and(x[0], x[2]), bdd.apply_and(x[1], x[3])
+        )
+        assert root_a == root_b
+
+
+class TestQueries:
+    def test_reachable_nodes_topological(self):
+        bdd = Bdd(3)
+        root = bdd.from_truth_table(
+            TruthTable.from_function(3, lambda a, b, c: (a and b) or c)
+        )
+        order = bdd.reachable_nodes([root])
+        seen = set()
+        for node in order:
+            data = bdd.node(node)
+            for child in (data.low, data.high):
+                if not bdd.is_terminal(child):
+                    assert child in seen
+            seen.add(node)
+        assert order[-1] == root
+
+    def test_count_nodes_shared(self):
+        bdd = Bdd(2)
+        x0 = bdd.variable(0)
+        x1 = bdd.variable(1)
+        assert bdd.count_nodes([x0, x1, x0]) == 2
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_count_satisfying(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(1, 5)
+        table = TruthTable(n, rng.getrandbits(1 << n))
+        bdd = Bdd(n)
+        root = bdd.from_truth_table(table)
+        assert bdd.count_satisfying(root) == table.count_ones()
+
+    def test_count_satisfying_terminals(self):
+        bdd = Bdd(4)
+        assert bdd.count_satisfying(ZERO) == 0
+        assert bdd.count_satisfying(ONE) == 16

@@ -1,0 +1,92 @@
+"""Unit tests for Python-predicate compilation (PhaseOracle input)."""
+
+import pytest
+
+from repro.boolean.expression import (
+    ExpressionError,
+    function_arity,
+    predicate_to_truth_table,
+)
+from repro.boolean.truth_table import TruthTable
+
+
+class TestArity:
+    def test_plain_function(self):
+        def f(a, b, c):
+            return a
+
+        assert function_arity(f) == 3
+
+    def test_lambda(self):
+        assert function_arity(lambda a, b: a and b) == 2
+
+
+class TestSymbolicCompilation:
+    def test_paper_predicate(self):
+        def f(a, b, c, d):
+            return (a and b) ^ (c and d)
+
+        table = predicate_to_truth_table(f)
+        expected = TruthTable.from_function(4, f)
+        assert table == expected
+
+    def test_boolean_operators(self):
+        cases = [
+            (lambda a, b: a and b, 2),
+            (lambda a, b: a or b, 2),
+            (lambda a: not a, 1),
+            (lambda a, b: a ^ b, 2),
+            (lambda a, b: a & b, 2),
+            (lambda a, b: a | b, 2),
+            (lambda a: ~a, 1),
+            (lambda a, b: a == b, 2),
+            (lambda a, b: a != b, 2),
+            (lambda a, b, c: b if a else c, 3),
+        ]
+        for func, arity in cases:
+            table = predicate_to_truth_table(func, arity)
+            # reference: plain tabulation with bool coercion
+            reference = TruthTable(arity)
+            for x in range(1 << arity):
+                args = [bool((x >> i) & 1) for i in range(arity)]
+                value = func(*args)
+                if isinstance(value, int) and not isinstance(value, bool):
+                    value = value & 1
+                if value:
+                    reference.bits |= 1 << x
+            assert table == reference
+
+    def test_constants(self):
+        assert predicate_to_truth_table(lambda a: True, 1) == TruthTable.constant(1, True)
+        assert predicate_to_truth_table(lambda a: 0, 1) == TruthTable.constant(1, False)
+
+    def test_nested_expression(self):
+        def f(a, b, c, d, e, g):
+            return (a and b) ^ (c and d) ^ (e and g)
+
+        table = predicate_to_truth_table(f)
+        assert table == TruthTable.inner_product(3).permute_vars(
+            [0, 3, 1, 4, 2, 5]
+        )
+
+
+class TestFallback:
+    def test_arithmetic_predicate_falls_back(self):
+        def f(a, b):
+            return (int(a) + int(b)) % 2 == 1
+
+        table = predicate_to_truth_table(f)
+        assert table == TruthTable.from_function(2, lambda a, b: a ^ b)
+
+    def test_builtin_not_symbolic(self):
+        # builtins have no retrievable source: brute force path
+        table = predicate_to_truth_table(bool, 1)
+        assert table == TruthTable.projection(1, 0)
+
+
+class TestVariableOrdering:
+    def test_first_arg_is_lsb(self):
+        table = predicate_to_truth_table(lambda a, b: a, 2)
+        assert table == TruthTable.projection(2, 0)
+        table = predicate_to_truth_table(lambda a, b: b, 2)
+        assert table == TruthTable.projection(2, 1)

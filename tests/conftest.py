@@ -1,0 +1,54 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.boolean.permutation import BitPermutation
+from repro.boolean.truth_table import TruthTable
+from repro.core.circuit import QuantumCircuit
+
+
+@pytest.fixture
+def rng():
+    return random.Random(12345)
+
+
+@pytest.fixture
+def paper_pi():
+    """The permutation of the paper's Fig. 7: pi = [0,2,3,5,7,1,4,6]."""
+    return BitPermutation([0, 2, 3, 5, 7, 1, 4, 6])
+
+
+@pytest.fixture
+def paper_f4():
+    """The bent function of Fig. 4: f = x1x2 XOR x3x4."""
+    return TruthTable.from_function(
+        4, lambda a, b, c, d: (a and b) ^ (c and d)
+    )
+
+
+def random_clifford_t_circuit(num_qubits, num_gates, seed=0):
+    """A random circuit over the Clifford+T basis (no measurement)."""
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(num_qubits)
+    one_qubit = ["h", "x", "y", "z", "s", "sdg", "t", "tdg"]
+    for _ in range(num_gates):
+        if num_qubits >= 2 and rng.random() < 0.35:
+            a, b = rng.sample(range(num_qubits), 2)
+            if rng.random() < 0.8:
+                circuit.cx(a, b)
+            else:
+                circuit.cz(a, b)
+        else:
+            getattr(circuit, rng.choice(one_qubit))(
+                rng.randrange(num_qubits)
+            )
+    return circuit
+
+
+def assert_states_equal(state_a, state_b, atol=1e-9):
+    assert state_a.num_qubits == state_b.num_qubits
+    fidelity = abs(np.vdot(state_a.data, state_b.data)) ** 2
+    assert fidelity > 1 - atol, f"states differ (fidelity {fidelity})"

@@ -1,0 +1,175 @@
+"""Unit tests for the QuantumCircuit container."""
+
+import numpy as np
+import pytest
+
+from repro.core.circuit import QuantumCircuit
+from repro.core.gates import Gate
+from repro.core.unitary import circuit_unitary, circuits_equivalent
+
+
+class TestBuilding:
+    def test_empty(self):
+        circ = QuantumCircuit(3)
+        assert len(circ) == 0
+        assert circ.num_qubits == 3
+        assert circ.depth() == 0
+
+    def test_builder_methods_chain(self):
+        circ = QuantumCircuit(2).h(0).cx(0, 1).t(1)
+        assert [g.name for g in circ] == ["h", "cx", "t"]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(2).h(2)
+
+    def test_clbit_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(2, 1).measure(0, 1)
+
+    def test_mcx_degeneration(self):
+        circ = QuantumCircuit(5)
+        circ.mcx([], 0)
+        circ.mcx([1], 0)
+        circ.mcx([1, 2], 0)
+        circ.mcx([1, 2, 3], 0)
+        assert [g.name for g in circ] == ["x", "cx", "ccx", "mcx"]
+
+    def test_mcz_degeneration(self):
+        circ = QuantumCircuit(5)
+        circ.mcz([], 0)
+        circ.mcz([1], 0)
+        circ.mcz([1, 2], 0)
+        circ.mcz([1, 2, 3], 0)
+        assert [g.name for g in circ] == ["z", "cz", "ccz", "mcz"]
+
+    def test_measure_all_grows_clbits(self):
+        circ = QuantumCircuit(3)
+        circ.measure_all()
+        assert circ.num_clbits == 3
+        assert sum(1 for g in circ if g.is_measurement) == 3
+
+
+class TestStructure:
+    def test_compose_identity_mapping(self):
+        a = QuantumCircuit(2).h(0)
+        b = QuantumCircuit(2).cx(0, 1)
+        a.compose(b)
+        assert [g.name for g in a] == ["h", "cx"]
+
+    def test_compose_with_mapping(self):
+        a = QuantumCircuit(3)
+        b = QuantumCircuit(2).cx(0, 1)
+        a.compose(b, qubits=[2, 0])
+        gate = a.gates[0]
+        assert gate.controls == (2,)
+        assert gate.targets == (0,)
+
+    def test_compose_width_check(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(1).compose(QuantumCircuit(2).h(1))
+
+    def test_dagger_reverses_and_inverts(self):
+        circ = QuantumCircuit(2).h(0).t(0).cx(0, 1)
+        dag = circ.dagger()
+        assert [g.name for g in dag] == ["cx", "tdg", "h"]
+
+    def test_dagger_is_inverse_unitary(self):
+        circ = QuantumCircuit(3)
+        circ.h(0).cx(0, 1).t(2).ccx(0, 1, 2).s(1)
+        composed = circ.copy()
+        composed.compose(circ.dagger())
+        assert np.allclose(
+            circuit_unitary(composed), np.eye(8), atol=1e-9
+        )
+
+    def test_power(self):
+        circ = QuantumCircuit(1).t(0)
+        assert circuits_equivalent(
+            circ.power(2), QuantumCircuit(1).s(0)
+        )
+        assert circuits_equivalent(
+            circ.power(-1), QuantumCircuit(1).tdg(0)
+        )
+
+    def test_remap(self):
+        circ = QuantumCircuit(2).cx(0, 1)
+        wide = circ.remap({0: 3, 1: 1}, num_qubits=4)
+        assert wide.gates[0].controls == (3,)
+        assert wide.gates[0].targets == (1,)
+
+    def test_controlled_promotes_gates(self):
+        circ = QuantumCircuit(2).x(0).cx(0, 1)
+        controlled = circ.controlled()
+        assert [g.name for g in controlled] == ["cx", "ccx"]
+        assert controlled.num_qubits == 3
+        # control wire is qubit 0
+        assert all(0 in g.controls for g in controlled)
+
+    def test_controlled_unitary_semantics(self):
+        base = QuantumCircuit(1).x(0)
+        controlled = base.controlled()
+        reference = QuantumCircuit(2).cx(0, 1)
+        assert circuits_equivalent(controlled, reference)
+
+
+class TestMetrics:
+    def test_depth_parallel_gates(self):
+        circ = QuantumCircuit(2).h(0).h(1)
+        assert circ.depth() == 1
+
+    def test_depth_serial_gates(self):
+        circ = QuantumCircuit(2).h(0).cx(0, 1).h(1)
+        assert circ.depth() == 3
+
+    def test_barrier_not_counted_in_depth(self):
+        circ = QuantumCircuit(2).h(0).barrier().h(0)
+        assert circ.depth() == 2
+
+    def test_t_count(self):
+        circ = QuantumCircuit(1).t(0).tdg(0).s(0)
+        assert circ.t_count() == 2
+
+    def test_t_depth_parallel(self):
+        circ = QuantumCircuit(2).t(0).t(1)
+        assert circ.t_depth() == 1
+
+    def test_t_depth_serial(self):
+        circ = QuantumCircuit(1).t(0).h(0).t(0)
+        assert circ.t_depth() == 2
+
+    def test_two_qubit_count(self):
+        circ = QuantumCircuit(3).cx(0, 1).swap(1, 2).h(0).ccx(0, 1, 2)
+        assert circ.two_qubit_count() == 2
+
+    def test_count_ops(self):
+        circ = QuantumCircuit(2).h(0).h(1).cx(0, 1)
+        assert circ.count_ops() == {"h": 2, "cx": 1}
+
+    def test_is_clifford_t(self):
+        assert QuantumCircuit(2).h(0).t(0).cx(0, 1).is_clifford_t()
+        assert not QuantumCircuit(3).ccx(0, 1, 2).is_clifford_t()
+
+    def test_is_clifford(self):
+        assert QuantumCircuit(2).h(0).s(0).cx(0, 1).is_clifford()
+        assert not QuantumCircuit(1).t(0).is_clifford()
+
+    def test_has_measurements(self):
+        circ = QuantumCircuit(1, 1)
+        assert not circ.has_measurements()
+        circ.measure(0, 0)
+        assert circ.has_measurements()
+
+
+class TestEquality:
+    def test_equal_circuits(self):
+        a = QuantumCircuit(2).h(0).cx(0, 1)
+        b = QuantumCircuit(2).h(0).cx(0, 1)
+        assert a == b
+
+    def test_copy_is_independent(self):
+        a = QuantumCircuit(2).h(0)
+        b = a.copy()
+        b.x(1)
+        assert len(a) == 1
+        assert len(b) == 2

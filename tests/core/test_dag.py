@@ -1,0 +1,43 @@
+"""Unit tests for the gate dependency DAG."""
+
+from repro.core.circuit import QuantumCircuit
+from repro.core.dag import CircuitDag
+
+
+class TestCircuitDag:
+    def test_independent_gates_have_no_edges(self):
+        circ = QuantumCircuit(2).h(0).h(1)
+        dag = CircuitDag(circ)
+        assert dag.nodes[0].successors == set()
+        assert dag.nodes[1].predecessors == set()
+        assert sorted(dag.front_layer()) == [0, 1]
+
+    def test_shared_qubit_creates_edge(self):
+        circ = QuantumCircuit(2).h(0).cx(0, 1)
+        dag = CircuitDag(circ)
+        assert 1 in dag.nodes[0].successors
+        assert 0 in dag.nodes[1].predecessors
+
+    def test_layers(self):
+        circ = QuantumCircuit(3).h(0).h(1).cx(0, 1).h(2)
+        dag = CircuitDag(circ)
+        layers = dag.topological_layers()
+        assert layers[0] == [0, 1, 3]
+        assert layers[1] == [2]
+
+    def test_longest_path(self):
+        circ = QuantumCircuit(1).h(0).t(0).h(0)
+        assert CircuitDag(circ).longest_path_length() == 3
+
+    def test_classical_bit_dependency(self):
+        circ = QuantumCircuit(2, 1)
+        circ.measure(0, 0)
+        circ.measure(1, 0)  # same clbit -> ordered
+        dag = CircuitDag(circ)
+        assert 1 in dag.nodes[0].successors
+
+    def test_all_gates_present(self):
+        circ = QuantumCircuit(2).h(0).cx(0, 1).h(1).cx(1, 0)
+        dag = CircuitDag(circ)
+        total = sum(len(layer) for layer in dag.topological_layers())
+        assert total == 4

@@ -1,0 +1,41 @@
+"""Unit tests for circuit statistics (the ps -c command output)."""
+
+from repro.core.circuit import QuantumCircuit
+from repro.core.statistics import circuit_statistics
+
+
+class TestStatistics:
+    def test_empty_circuit(self):
+        stats = circuit_statistics(QuantumCircuit(2))
+        assert stats.num_gates == 0
+        assert stats.depth == 0
+        assert stats.t_count == 0
+
+    def test_counts(self):
+        circ = QuantumCircuit(3)
+        circ.h(0).t(0).t(1).tdg(2).cx(0, 1).cx(1, 2).s(0)
+        stats = circuit_statistics(circ)
+        assert stats.num_qubits == 3
+        assert stats.num_gates == 7
+        assert stats.t_count == 3
+        assert stats.two_qubit_count == 2
+        # clifford: h, cx, cx, s
+        assert stats.clifford_count == 4
+
+    def test_barriers_and_measures_excluded_from_gates(self):
+        circ = QuantumCircuit(1, 1).h(0).barrier().measure(0, 0)
+        stats = circuit_statistics(circ)
+        assert stats.num_gates == 1
+        assert stats.histogram["measure"] == 1
+
+    def test_as_dict_keys(self):
+        stats = circuit_statistics(QuantumCircuit(1).t(0))
+        data = stats.as_dict()
+        for key in ("qubits", "gates", "depth", "t_count", "t_depth"):
+            assert key in data
+
+    def test_str_contains_figures(self):
+        circ = QuantumCircuit(2).t(0).cx(0, 1)
+        text = str(circuit_statistics(circ))
+        assert "T: 1" in text
+        assert "qubits: 2" in text

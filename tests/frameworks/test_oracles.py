@@ -1,0 +1,139 @@
+"""Unit tests for PhaseOracle and PermutationOracle."""
+
+import numpy as np
+import pytest
+
+from repro.boolean.permutation import BitPermutation
+from repro.boolean.truth_table import TruthTable
+from repro.core.circuit import QuantumCircuit
+from repro.core.unitary import circuit_unitary
+from repro.frameworks.projectq import (
+    All,
+    EngineError,
+    H,
+    MainEngine,
+    Measure,
+    PermutationOracle,
+    PhaseOracle,
+)
+from repro.frameworks.projectq.backends import CircuitCollector
+from repro.synthesis.decomposition import decomposition_based_synthesis
+
+
+def built_circuit(apply_fn, num_qubits):
+    """Run apply_fn(eng, qubits) and return the collected circuit."""
+    eng = MainEngine(backend=CircuitCollector())
+    qubits = eng.allocate_qureg(num_qubits)
+    apply_fn(eng, qubits)
+    eng.flush()
+    return eng.backend.circuit
+
+
+class TestPhaseOracle:
+    def diagonal_signs(self, circuit):
+        unitary = circuit_unitary(circuit)
+        assert np.allclose(
+            np.abs(unitary), np.eye(unitary.shape[0]), atol=1e-9
+        ), "phase oracle must be diagonal"
+        return np.diag(unitary)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_diagonal_matches_function(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        n = rng.randint(1, 4)
+        table = TruthTable(n, rng.getrandbits(1 << n))
+
+        circ = built_circuit(
+            lambda eng, qs: PhaseOracle(table).__or__(qs), n
+        )
+        signs = self.diagonal_signs(circ)
+        reference = np.array(
+            [(-1.0) ** table(x) for x in range(1 << n)]
+        )
+        # global phase allowed
+        ratio = signs / reference
+        assert np.allclose(ratio, ratio[0], atol=1e-9)
+
+    def test_python_predicate(self):
+        def f(a, b):
+            return a and b
+
+        circ = built_circuit(
+            lambda eng, qs: PhaseOracle(f).__or__(qs), 2
+        )
+        signs = self.diagonal_signs(circ)
+        assert signs[3] / signs[0] == pytest.approx(-1)
+
+    def test_arity_mismatch_rejected(self):
+        table = TruthTable(3)
+        with pytest.raises(EngineError):
+            built_circuit(
+                lambda eng, qs: PhaseOracle(table).__or__(qs), 2
+            )
+
+    def test_zero_function_emits_nothing(self):
+        circ = built_circuit(
+            lambda eng, qs: PhaseOracle(TruthTable(2)).__or__(qs), 2
+        )
+        assert len(circ) == 0
+
+    def test_constant_one_is_global_minus(self):
+        circ = built_circuit(
+            lambda eng, qs: PhaseOracle(TruthTable.constant(2, True)).__or__(qs),
+            2,
+        )
+        unitary = circuit_unitary(circ)
+        assert np.allclose(unitary, -np.eye(4), atol=1e-9)
+
+
+class TestPermutationOracle:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_default_synthesis(self, seed):
+        perm = BitPermutation.random(3, seed=seed)
+        circ = built_circuit(
+            lambda eng, qs: PermutationOracle(perm).__or__(qs), 3
+        )
+        unitary = circuit_unitary(circ)
+        for x in range(8):
+            assert unitary[perm(x), x] == pytest.approx(1)
+
+    def test_plain_list_accepted(self):
+        circ = built_circuit(
+            lambda eng, qs: PermutationOracle([0, 2, 3, 1]).__or__(qs), 2
+        )
+        unitary = circuit_unitary(circ)
+        assert unitary[2, 1] == pytest.approx(1)
+
+    def test_custom_synthesis_function(self, paper_pi):
+        circ = built_circuit(
+            lambda eng, qs: PermutationOracle(
+                paper_pi, synth=decomposition_based_synthesis
+            ).__or__(qs),
+            3,
+        )
+        unitary = circuit_unitary(circ)
+        for x in range(8):
+            assert unitary[paper_pi(x), x] == pytest.approx(1)
+
+    def test_width_mismatch_rejected(self, paper_pi):
+        with pytest.raises(EngineError):
+            built_circuit(
+                lambda eng, qs: PermutationOracle(paper_pi).__or__(qs), 4
+            )
+
+    def test_oracle_on_subregister(self, paper_pi):
+        """Fig. 7 applies the oracle to the interleaved y qubits."""
+        def apply(eng, qubits):
+            y = qubits[1::2]
+            PermutationOracle(paper_pi) | y
+
+        circ = built_circuit(apply, 6)
+        unitary = circuit_unitary(circ)
+        # acting on qubits 1,3,5: basis y-bits permute, x-bits fixed
+        for y in range(8):
+            src = ((y & 1) << 1) | (((y >> 1) & 1) << 3) | (((y >> 2) & 1) << 5)
+            out = paper_pi(y)
+            dst = ((out & 1) << 1) | (((out >> 1) & 1) << 3) | (((out >> 2) & 1) << 5)
+            assert unitary[dst, src] == pytest.approx(1)

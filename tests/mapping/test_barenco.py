@@ -1,0 +1,154 @@
+"""Unit tests for the full MCT-to-Clifford+T mapping pass."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.boolean.permutation import BitPermutation
+from repro.core.circuit import QuantumCircuit
+from repro.core.unitary import allclose_up_to_global_phase, circuit_unitary
+from repro.mapping.barenco import (
+    MappingError,
+    map_to_clifford_t,
+    mcx_clean_ancilla,
+    mcx_dirty_ancilla,
+)
+from repro.synthesis.reversible import ReversibleCircuit
+from repro.synthesis.transformation import transformation_based_synthesis
+
+
+def assert_action_on_clean_ancillae(circuit, num_data, permutation):
+    """Check the circuit maps |x>|0> to e^{i phi}|perm(x)>|0>."""
+    unitary = circuit_unitary(circuit)
+    for x in range(1 << num_data):
+        column = unitary[:, x]
+        idx = int(np.argmax(np.abs(column)))
+        assert abs(abs(column[idx]) - 1.0) < 1e-9
+        assert np.abs(column).sum() - abs(column[idx]) < 1e-9
+        assert idx == permutation(x)
+
+
+class TestCleanLadder:
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    @pytest.mark.parametrize("relative_phase", [True, False])
+    def test_subspace_action(self, k, relative_phase):
+        n = k + 1 + (k - 2)
+        circ = mcx_clean_ancilla(
+            list(range(k)), k, list(range(k + 1, n)), n,
+            relative_phase=relative_phase,
+        )
+        perm = BitPermutation(
+            [
+                x ^ (1 << k) if (x & ((1 << k) - 1)) == (1 << k) - 1 else x
+                for x in range(1 << (k + 1))
+            ]
+        )
+        assert_action_on_clean_ancillae(circ, k + 1, perm)
+
+    def test_relative_phase_t_savings(self):
+        k = 5
+        n = 2 * k - 1
+        cheap = mcx_clean_ancilla(
+            list(range(k)), k, list(range(k + 1, n)), n, relative_phase=True
+        )
+        full = mcx_clean_ancilla(
+            list(range(k)), k, list(range(k + 1, n)), n, relative_phase=False
+        )
+        assert cheap.t_count() == 8 * (k - 2) + 7
+        assert full.t_count() == 14 * (k - 2) + 7
+
+    def test_needs_enough_ancillae(self):
+        with pytest.raises(ValueError):
+            mcx_clean_ancilla([0, 1, 2, 3], 4, [5], 7)
+
+    def test_minimum_controls(self):
+        with pytest.raises(ValueError):
+            mcx_clean_ancilla([0, 1], 2, [3], 4)
+
+
+class TestDirtyChain:
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_full_unitary_equivalence(self, k):
+        """Dirty chains are correct for *any* ancilla state."""
+        n = k + 1 + (k - 2)
+        circ = mcx_dirty_ancilla(
+            list(range(k)), k, list(range(k + 1, n)), n
+        )
+        reference = QuantumCircuit(n).mcx(list(range(k)), k)
+        assert allclose_up_to_global_phase(
+            circuit_unitary(circ), circuit_unitary(reference)
+        )
+
+    def test_toffoli_count(self):
+        k = 4
+        n = 2 * k - 1
+        circ = mcx_dirty_ancilla(list(range(k)), k, list(range(k + 1, n)), n)
+        assert circ.t_count() == 7 * 4 * (k - 2)
+
+
+class TestFullMappingPass:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_synthesized_circuits_map_correctly(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 4)
+        perm = BitPermutation.random(n, seed=seed * 3)
+        reversible = transformation_based_synthesis(perm)
+        mapped = map_to_clifford_t(reversible)
+        assert mapped.is_clifford_t()
+        assert_action_on_clean_ancillae(mapped, n, perm)
+
+    def test_dirty_path_used_when_clean_disallowed(self):
+        circ = ReversibleCircuit(6)
+        circ.add_gate(5, (0, 1, 2))  # 3 controls; lines 3,4 idle
+        mapped = map_to_clifford_t(
+            circ, prefer_clean=False, allow_extra_lines=False
+        )
+        assert mapped.num_qubits == 6
+        reference = QuantumCircuit(6).mcx([0, 1, 2], 5)
+        assert allclose_up_to_global_phase(
+            circuit_unitary(mapped), circuit_unitary(reference)
+        )
+
+    def test_extra_lines_needed_and_forbidden(self):
+        circ = ReversibleCircuit(4)
+        circ.add_gate(3, (0, 1, 2))  # no idle lines at all
+        with pytest.raises(MappingError):
+            map_to_clifford_t(
+                circ, prefer_clean=False, allow_extra_lines=False
+            )
+
+    def test_mcz_lowered_via_h_conjugation(self):
+        qc = QuantumCircuit(4).mcz([0, 1, 2], 3)
+        mapped = map_to_clifford_t(qc)
+        assert mapped.is_clifford_t()
+        reference = circuit_unitary(QuantumCircuit(4).mcz([0, 1, 2], 3))
+        # compare on the data subspace (clean ancillae added)
+        full = circuit_unitary(mapped)
+        for x in range(16):
+            col = full[:, x]
+            idx = int(np.argmax(np.abs(col)))
+            assert idx == x  # mcz is diagonal
+        # diagonal signs must match
+        diag = np.array([full[x, x] for x in range(16)])
+        ref_diag = np.diag(reference)
+        assert allclose_up_to_global_phase(
+            np.diag(diag), np.diag(ref_diag)
+        )
+
+    def test_plain_gates_pass_through(self):
+        qc = QuantumCircuit(2, 2).h(0).cx(0, 1).measure(0, 0)
+        mapped = map_to_clifford_t(qc)
+        assert [g.name for g in mapped] == ["h", "cx", "measure"]
+
+    def test_rotation_gate_rejected(self):
+        qc = QuantumCircuit(1).rx(0.5, 0)
+        with pytest.raises(MappingError):
+            map_to_clifford_t(qc)
+
+    def test_relative_phase_reduces_t_count(self):
+        perm = BitPermutation.hidden_weighted_bit(4)
+        reversible = transformation_based_synthesis(perm)
+        cheap = map_to_clifford_t(reversible, relative_phase=True)
+        full = map_to_clifford_t(reversible, relative_phase=False)
+        assert cheap.t_count() < full.t_count()

@@ -1,0 +1,62 @@
+"""Unit tests for the Clifford+T building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.core.circuit import QuantumCircuit
+from repro.core.unitary import allclose_up_to_global_phase, circuit_unitary
+from repro.mapping.clifford_t import (
+    ccx_clifford_t,
+    ccz_clifford_t,
+    cz_from_cx,
+    swap_from_cx,
+)
+
+
+class TestCcx:
+    def test_unitary_exact(self):
+        reference = circuit_unitary(QuantumCircuit(3).ccx(0, 1, 2))
+        decomposed = circuit_unitary(ccx_clifford_t(0, 1, 2, 3))
+        assert allclose_up_to_global_phase(decomposed, reference)
+
+    def test_t_count_is_seven(self):
+        assert ccx_clifford_t(0, 1, 2, 3).t_count() == 7
+
+    def test_t_depth_bound(self):
+        assert ccx_clifford_t(0, 1, 2, 3).t_depth() <= 4
+
+    def test_is_clifford_t(self):
+        assert ccx_clifford_t(0, 1, 2, 3).is_clifford_t()
+
+    def test_arbitrary_wire_assignment(self):
+        reference = circuit_unitary(QuantumCircuit(4).ccx(3, 0, 2))
+        decomposed = circuit_unitary(ccx_clifford_t(3, 0, 2, 4))
+        assert allclose_up_to_global_phase(decomposed, reference)
+
+
+class TestCcz:
+    def test_unitary_exact(self):
+        reference = circuit_unitary(QuantumCircuit(3).ccz(0, 1, 2))
+        decomposed = circuit_unitary(ccz_clifford_t(0, 1, 2, 3))
+        assert allclose_up_to_global_phase(decomposed, reference)
+
+    def test_symmetric_in_all_three_qubits(self):
+        """CCZ is invariant under any qubit role exchange."""
+        base = circuit_unitary(ccz_clifford_t(0, 1, 2, 3))
+        for roles in [(1, 0, 2), (2, 1, 0), (0, 2, 1)]:
+            other = circuit_unitary(ccz_clifford_t(*roles, 3))
+            assert allclose_up_to_global_phase(base, other)
+
+
+class TestHelpers:
+    def test_cz_from_cx(self):
+        reference = circuit_unitary(QuantumCircuit(2).cz(0, 1))
+        assert allclose_up_to_global_phase(
+            circuit_unitary(cz_from_cx(0, 1, 2)), reference
+        )
+
+    def test_swap_from_cx(self):
+        reference = circuit_unitary(QuantumCircuit(2).swap(0, 1))
+        assert allclose_up_to_global_phase(
+            circuit_unitary(swap_from_cx(0, 1, 2)), reference
+        )

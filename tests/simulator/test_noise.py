@@ -1,0 +1,72 @@
+"""Unit tests for the noisy (IBM QE substitute) backend."""
+
+import pytest
+
+from repro.core.circuit import QuantumCircuit
+from repro.core.gates import Gate
+from repro.simulator.noise import NoiseModel, NoisyBackend
+
+
+def bell_measure_circuit():
+    circ = QuantumCircuit(2, 2).h(0).cx(0, 1)
+    circ.measure(0, 0).measure(1, 1)
+    return circ
+
+
+class TestNoiseModel:
+    def test_gate_error_classes(self):
+        model = NoiseModel(p1=0.01, p2=0.02, p_meas=0.03, p_multi=0.04)
+        assert model.gate_error(Gate("h", (0,))) == 0.01
+        assert model.gate_error(Gate("cx", (1,), (0,))) == 0.02
+        assert model.gate_error(Gate("ccx", (2,), (0, 1))) == 0.04
+
+    def test_presets(self):
+        assert NoiseModel.noiseless().p2 == 0.0
+        assert NoiseModel.ibm_qe_2018().p2 > 0.01
+
+
+class TestNoisyBackend:
+    def test_noiseless_matches_ideal(self):
+        backend = NoisyBackend(NoiseModel.noiseless(), seed=3)
+        result = backend.run(bell_measure_circuit(), shots=200)
+        assert set(result.counts) <= {0, 3}
+        assert sum(result.counts.values()) == 200
+
+    def test_noise_spreads_outcomes(self):
+        backend = NoisyBackend(NoiseModel(p1=0.1, p2=0.2, p_meas=0.1), seed=3)
+        result = backend.run(bell_measure_circuit(), shots=400)
+        # heavy noise must populate states outside the Bell support
+        assert any(k in result.counts for k in (1, 2))
+
+    def test_correct_outcome_still_dominates_at_chip_noise(self):
+        backend = NoisyBackend(NoiseModel.ibm_qe_2018(), seed=5)
+        circ = QuantumCircuit(2, 2).x(0).measure(0, 0).measure(1, 1)
+        result = backend.run(circ, shots=512)
+        assert result.most_frequent() == 1
+        assert result.probability(1) > 0.7
+
+    def test_seeded_reproducibility(self):
+        circ = bell_measure_circuit()
+        a = NoisyBackend(seed=7).run(circ, shots=128).counts
+        b = NoisyBackend(seed=7).run(circ, shots=128).counts
+        assert a == b
+
+    def test_readout_error_only(self):
+        model = NoiseModel(p1=0.0, p2=0.0, p_meas=0.5, p_multi=0.0)
+        backend = NoisyBackend(model, seed=1)
+        circ = QuantumCircuit(1, 1).measure(0, 0)
+        result = backend.run(circ, shots=600)
+        # ~half the readouts flip
+        assert 200 < result.counts.get(1, 0) < 400
+
+    def test_run_repeated_shapes(self):
+        backend = NoisyBackend(seed=9)
+        mean, std = backend.run_repeated(bell_measure_circuit(), 128, 3)
+        assert mean.shape == (4,)
+        assert std.shape == (4,)
+        assert mean.sum() == pytest.approx(1.0)
+
+    def test_barrier_ignored(self):
+        backend = NoisyBackend(NoiseModel.noiseless(), seed=1)
+        circ = QuantumCircuit(1, 1).x(0).barrier().measure(0, 0)
+        assert backend.run(circ, shots=10).counts == {1: 10}

@@ -1,0 +1,47 @@
+"""Unit tests for the resource-counting backend."""
+
+from repro.core.circuit import QuantumCircuit
+from repro.simulator.resources import ResourceCounter
+
+
+class TestResourceCounter:
+    def test_empty(self):
+        estimate = ResourceCounter().run(QuantumCircuit(4))
+        assert estimate.num_qubits == 4
+        assert estimate.total_gates == 0
+
+    def test_gate_classes(self):
+        circ = QuantumCircuit(3, 3)
+        circ.h(0).t(0).tdg(1).cx(0, 1).cx(1, 2).cz(0, 2).s(2)
+        circ.measure(0, 0)
+        estimate = ResourceCounter().run(circ)
+        assert estimate.total_gates == 7
+        assert estimate.t_count == 2
+        assert estimate.cnot_count == 2
+        assert estimate.two_qubit_count == 3
+        assert estimate.measurement_count == 1
+        # clifford: h, cx, cx, cz, s
+        assert estimate.clifford_count == 5
+
+    def test_depths(self):
+        circ = QuantumCircuit(1).t(0).h(0).t(0)
+        estimate = ResourceCounter().run(circ)
+        assert estimate.depth == 3
+        assert estimate.t_depth == 2
+
+    def test_scales_without_simulation(self):
+        """Counting must work far beyond simulable widths."""
+        circ = QuantumCircuit(200)
+        for q in range(199):
+            circ.cx(q, q + 1)
+        for q in range(200):
+            circ.t(q)
+        estimate = ResourceCounter().run(circ)
+        assert estimate.num_qubits == 200
+        assert estimate.cnot_count == 199
+        assert estimate.t_count == 200
+
+    def test_as_dict_and_str(self):
+        estimate = ResourceCounter().run(QuantumCircuit(1).t(0))
+        assert estimate.as_dict()["t_count"] == 1
+        assert "T=1" in str(estimate)

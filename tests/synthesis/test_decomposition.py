@@ -1,0 +1,78 @@
+"""Unit tests for decomposition-based synthesis (dbs)."""
+
+import random
+
+import pytest
+
+from repro.boolean.permutation import BitPermutation
+from repro.synthesis.decomposition import (
+    decomposition_based_synthesis,
+    young_subgroup_decomposition,
+)
+
+
+class TestYoungSubgroupDecomposition:
+    def test_gate_count_bound(self):
+        """At most 2n single-target gates for an n-line permutation."""
+        for seed in range(10):
+            perm = BitPermutation.random(4, seed=seed)
+            lefts, rights = young_subgroup_decomposition(perm)
+            assert len(lefts) + len(rights) <= 8
+
+    def test_single_target_gates_reconstruct_permutation(self):
+        perm = BitPermutation.random(3, seed=3)
+        lefts, rights = young_subgroup_decomposition(perm)
+        ordered = list(rights) + list(reversed(lefts))
+
+        def apply_all(x):
+            for gate in ordered:
+                x = gate.apply(x)
+            return x
+
+        for x in range(8):
+            assert apply_all(x) == perm(x)
+
+    def test_identity_produces_no_gates(self):
+        lefts, rights = young_subgroup_decomposition(
+            BitPermutation.identity(3)
+        )
+        assert lefts == [] and rights == []
+
+
+class TestDecompositionSynthesis:
+    def test_paper_pi(self, paper_pi):
+        circ = decomposition_based_synthesis(paper_pi)
+        assert circ.permutation() == paper_pi
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_permutations(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(1, 5)
+        perm = BitPermutation.random(n, seed=seed * 7)
+        circ = decomposition_based_synthesis(perm)
+        assert circ.permutation() == perm
+
+    def test_all_two_bit_permutations(self):
+        from itertools import permutations
+
+        for image in permutations(range(4)):
+            perm = BitPermutation(list(image))
+            circ = decomposition_based_synthesis(perm)
+            assert circ.permutation() == perm
+
+    def test_single_line(self):
+        perm = BitPermutation([1, 0])
+        circ = decomposition_based_synthesis(perm)
+        assert circ.permutation() == perm
+
+    def test_hwb(self):
+        perm = BitPermutation.hidden_weighted_bit(4)
+        circ = decomposition_based_synthesis(perm)
+        assert circ.permutation() == perm
+
+    def test_controls_exclude_target_line(self):
+        """Every MCT from dbs controls only on other lines."""
+        perm = BitPermutation.random(4, seed=99)
+        circ = decomposition_based_synthesis(perm)
+        for gate in circ:
+            assert gate.target not in gate.controls

@@ -1,0 +1,125 @@
+"""Unit tests for linear (CNOT-only) circuit synthesis."""
+
+import random
+
+import pytest
+
+from repro.core.circuit import QuantumCircuit
+from repro.synthesis.linear import (
+    Gf2Matrix,
+    cnot_circuit_to_matrix,
+    gaussian_synthesis,
+    pmh_synthesis,
+)
+
+
+class TestGf2Matrix:
+    def test_identity(self):
+        matrix = Gf2Matrix.identity(4)
+        assert matrix.is_identity()
+        assert matrix.rank() == 4
+
+    def test_from_lists(self):
+        matrix = Gf2Matrix.from_lists([[1, 1], [0, 1]])
+        assert matrix.entry(0, 0) == 1
+        assert matrix.entry(0, 1) == 1
+        assert matrix.entry(1, 0) == 0
+
+    def test_apply(self):
+        matrix = Gf2Matrix.from_lists([[1, 1], [0, 1]])
+        # y0 = x0 ^ x1, y1 = x1
+        assert matrix.apply(0b01) == 0b01
+        assert matrix.apply(0b10) == 0b11
+
+    def test_multiply_identity(self):
+        matrix = Gf2Matrix.random_invertible(4, seed=2)
+        assert matrix.multiply(Gf2Matrix.identity(4)) == matrix
+
+    def test_inverse(self):
+        matrix = Gf2Matrix.random_invertible(5, seed=3)
+        assert matrix.multiply(matrix.inverse()).is_identity()
+
+    def test_singular_inverse_rejected(self):
+        singular = Gf2Matrix.from_lists([[1, 1], [1, 1]])
+        with pytest.raises(ValueError):
+            singular.inverse()
+
+    def test_rank_of_singular(self):
+        assert Gf2Matrix.from_lists([[1, 1], [1, 1]]).rank() == 1
+
+    def test_random_invertible_is_invertible(self):
+        for seed in range(5):
+            assert Gf2Matrix.random_invertible(6, seed=seed).rank() == 6
+
+
+class TestSynthesis:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_gaussian_round_trip(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(1, 7)
+        matrix = Gf2Matrix.random_invertible(n, seed=seed)
+        circuit = gaussian_synthesis(matrix)
+        assert cnot_circuit_to_matrix(circuit) == matrix
+        assert all(g.name == "cx" for g in circuit)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_pmh_round_trip(self, seed):
+        rng = random.Random(seed + 100)
+        n = rng.randint(1, 8)
+        matrix = Gf2Matrix.random_invertible(n, seed=seed + 100)
+        circuit = pmh_synthesis(matrix)
+        assert cnot_circuit_to_matrix(circuit) == matrix
+
+    def test_identity_needs_no_gates(self):
+        assert len(gaussian_synthesis(Gf2Matrix.identity(4))) == 0
+        assert len(pmh_synthesis(Gf2Matrix.identity(4))) == 0
+
+    def test_single_cnot_matrix(self):
+        circuit = QuantumCircuit(2).cx(0, 1)
+        matrix = cnot_circuit_to_matrix(circuit)
+        rebuilt = gaussian_synthesis(matrix)
+        assert cnot_circuit_to_matrix(rebuilt) == matrix
+        assert len(rebuilt) == 1
+
+    def test_singular_rejected(self):
+        singular = Gf2Matrix.from_lists([[1, 0], [1, 0]])
+        with pytest.raises(ValueError):
+            gaussian_synthesis(singular)
+
+    def test_pmh_beats_gaussian_on_wide_matrices(self):
+        """The log-factor saving must show up on average at n = 16+."""
+        import statistics
+
+        gauss, pmh = [], []
+        for seed in range(8):
+            matrix = Gf2Matrix.random_invertible(16, seed=seed)
+            gauss.append(len(gaussian_synthesis(matrix)))
+            pmh.append(len(pmh_synthesis(matrix)))
+        assert statistics.mean(pmh) < statistics.mean(gauss)
+
+    def test_section_size_parameter(self):
+        matrix = Gf2Matrix.random_invertible(8, seed=4)
+        for section in (1, 2, 3, 4, 8):
+            circuit = pmh_synthesis(matrix, section_size=section)
+            assert cnot_circuit_to_matrix(circuit) == matrix
+
+    def test_matrix_extraction_with_swap(self):
+        circuit = QuantumCircuit(2).swap(0, 1)
+        matrix = cnot_circuit_to_matrix(circuit)
+        assert matrix.apply(0b01) == 0b10
+
+    def test_non_cnot_rejected(self):
+        with pytest.raises(ValueError):
+            cnot_circuit_to_matrix(QuantumCircuit(1).h(0))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_unitary_agreement(self, seed):
+        """The synthesized circuit's permutation equals M's action."""
+        n = 4
+        matrix = Gf2Matrix.random_invertible(n, seed=seed)
+        circuit = pmh_synthesis(matrix)
+        from repro.core.unitary import circuit_unitary, unitary_as_permutation
+
+        perm = unitary_as_permutation(circuit_unitary(circuit))
+        for x in range(1 << n):
+            assert perm[x] == matrix.apply(x)

@@ -1,0 +1,136 @@
+"""Unit tests for MCT gates and reversible circuits."""
+
+import pytest
+
+from repro.boolean.permutation import BitPermutation
+from repro.core.unitary import circuit_unitary, unitary_as_permutation
+from repro.synthesis.reversible import MctGate, ReversibleCircuit
+
+
+class TestMctGate:
+    def test_default_positive_polarity(self):
+        gate = MctGate(2, (0, 1))
+        assert gate.polarity == (True, True)
+
+    def test_fires(self):
+        gate = MctGate(2, (0, 1), (True, False))
+        assert gate.fires(0b001)       # c0=1, c1=0
+        assert not gate.fires(0b011)
+
+    def test_apply(self):
+        gate = MctGate(2, (0, 1))
+        assert gate.apply(0b011) == 0b111
+        assert gate.apply(0b111) == 0b011
+        assert gate.apply(0b001) == 0b001
+
+    def test_not_gate(self):
+        gate = MctGate(0)
+        assert gate.apply(0) == 1
+        assert gate.apply(1) == 0
+
+    def test_target_in_controls_rejected(self):
+        with pytest.raises(ValueError):
+            MctGate(0, (0,))
+
+    def test_polarity_length_mismatch(self):
+        with pytest.raises(ValueError):
+            MctGate(0, (1, 2), (True,))
+
+    def test_masks_round_trip(self):
+        gate = MctGate(3, (0, 2), (False, True))
+        rebuilt = MctGate.from_masks(
+            3, gate.control_mask(), gate.polarity_mask()
+        )
+        assert rebuilt == gate
+
+    def test_remap(self):
+        gate = MctGate(2, (0, 1), (True, False))
+        mapped = gate.remap({0: 5, 1: 4, 2: 3})
+        assert mapped.target == 3
+        assert mapped.controls == (5, 4)
+        assert mapped.polarity == (True, False)
+
+
+class TestReversibleCircuit:
+    def test_identity_permutation(self):
+        assert ReversibleCircuit(3).permutation().is_identity()
+
+    def test_builders(self):
+        circ = ReversibleCircuit(3)
+        circ.x(0).cnot(0, 1).toffoli(0, 1, 2)
+        assert len(circ) == 3
+        assert circ.permutation()(0) == 0b111
+
+    def test_line_range_check(self):
+        with pytest.raises(ValueError):
+            ReversibleCircuit(2).add_gate(2)
+
+    def test_dagger_inverts(self):
+        circ = ReversibleCircuit(3)
+        circ.x(0).toffoli(0, 1, 2).cnot(0, 1)
+        perm = circ.permutation()
+        inv = circ.dagger().permutation()
+        assert perm.compose(inv).is_identity()
+
+    def test_negative_controls_semantics(self):
+        circ = ReversibleCircuit(2)
+        circ.add_gate(1, (0,), (False,))  # flips line1 when line0 = 0
+        perm = circ.permutation()
+        assert perm(0b00) == 0b10
+        assert perm(0b01) == 0b01
+
+    def test_compose(self):
+        a = ReversibleCircuit(2).x(0)
+        b = ReversibleCircuit(2).cnot(0, 1)
+        a.compose(b)
+        assert a.permutation()(0) == 0b11
+
+    def test_quantum_cost_table(self):
+        circ = ReversibleCircuit(5)
+        circ.x(0)
+        assert circ.quantum_cost() == 1
+        circ.toffoli(0, 1, 2)
+        assert circ.quantum_cost() == 6
+        circ.add_gate(4, (0, 1, 2))
+        assert circ.quantum_cost() == 6 + (1 << 4) - 3
+
+    def test_control_histogram(self):
+        circ = ReversibleCircuit(3).x(0).cnot(0, 1).toffoli(0, 1, 2)
+        assert circ.control_histogram() == {0: 1, 1: 1, 2: 1}
+
+    def test_t_count_estimate(self):
+        circ = ReversibleCircuit(3).toffoli(0, 1, 2)
+        assert circ.t_count_estimate() == 7
+        circ2 = ReversibleCircuit(4).add_gate(3, (0, 1, 2))
+        assert circ2.t_count_estimate() == 7 * 3
+
+
+class TestQuantumConversion:
+    def test_positive_mct_to_quantum(self):
+        circ = ReversibleCircuit(3).toffoli(0, 1, 2)
+        quantum = circ.to_quantum_circuit()
+        assert [g.name for g in quantum] == ["ccx"]
+
+    def test_negative_controls_wrapped_in_x(self):
+        circ = ReversibleCircuit(2)
+        circ.add_gate(1, (0,), (False,))
+        quantum = circ.to_quantum_circuit()
+        assert [g.name for g in quantum] == ["x", "cx", "x"]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_quantum_conversion_preserves_permutation(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        circ = ReversibleCircuit(3)
+        for _ in range(8):
+            target = rng.randrange(3)
+            others = [l for l in range(3) if l != target]
+            k = rng.randint(0, 2)
+            controls = tuple(rng.sample(others, k))
+            polarity = tuple(rng.random() < 0.5 for _ in controls)
+            circ.add_gate(target, controls, polarity)
+        perm = unitary_as_permutation(
+            circuit_unitary(circ.to_quantum_circuit())
+        )
+        assert perm == circ.permutation().image

@@ -1,0 +1,72 @@
+"""Unit tests for single-target gates."""
+
+import random
+
+import pytest
+
+from repro.boolean.truth_table import TruthTable
+from repro.synthesis.single_target import (
+    SingleTargetGate,
+    single_target_gates_to_circuit,
+)
+
+
+class TestSingleTargetGate:
+    def test_apply(self):
+        function = TruthTable.from_function(2, lambda a, b: a and b)
+        gate = SingleTargetGate(0, (1, 2), function)
+        assert gate.apply(0b110) == 0b111  # controls 1,2 set -> flip 0
+        assert gate.apply(0b010) == 0b010
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SingleTargetGate(0, (1,), TruthTable(2))
+
+    def test_target_among_controls_rejected(self):
+        with pytest.raises(ValueError):
+            SingleTargetGate(1, (1, 2), TruthTable(2))
+
+    def test_mct_lowering_matches_semantics(self):
+        rng = random.Random(4)
+        for _ in range(20):
+            function = TruthTable(2, rng.getrandbits(4))
+            gate = SingleTargetGate(2, (0, 1), function)
+            mcts = gate.to_mct_gates()
+            for value in range(8):
+                expected = gate.apply(value)
+                actual = value
+                for mct in mcts:
+                    actual = mct.apply(actual)
+                assert actual == expected
+
+    def test_constant_zero_function_no_gates(self):
+        gate = SingleTargetGate(0, (1, 2), TruthTable(2))
+        assert gate.to_mct_gates() == []
+
+    def test_constant_one_function_single_not(self):
+        gate = SingleTargetGate(0, (1, 2), TruthTable.constant(2, True))
+        mcts = gate.to_mct_gates()
+        assert len(mcts) == 1
+        assert mcts[0].num_controls == 0
+
+    def test_control_lines_non_contiguous(self):
+        function = TruthTable.from_function(2, lambda a, b: a ^ b)
+        gate = SingleTargetGate(1, (0, 3), function)
+        mcts = gate.to_mct_gates()
+        used = {line for mct in mcts for line in mct.controls}
+        assert used <= {0, 3}
+
+
+class TestCascadeLowering:
+    def test_cascade(self):
+        f1 = TruthTable.from_function(1, lambda a: a)
+        f2 = TruthTable.from_function(1, lambda a: not a)
+        gates = [
+            SingleTargetGate(1, (0,), f1),
+            SingleTargetGate(0, (1,), f2),
+        ]
+        circ = single_target_gates_to_circuit(gates, 2)
+        value = 0b01
+        for gate in gates:
+            value = gate.apply(value)
+        assert circ.apply(0b01) == value

@@ -1,0 +1,93 @@
+"""Unit tests for transformation-based synthesis (tbs)."""
+
+import random
+
+import pytest
+
+from repro.boolean.permutation import BitPermutation
+from repro.synthesis.transformation import (
+    bidirectional_synthesis,
+    transformation_based_synthesis,
+)
+
+
+class TestBasicSynthesis:
+    def test_identity_needs_no_gates(self):
+        circ = transformation_based_synthesis(BitPermutation.identity(3))
+        assert len(circ) == 0
+
+    def test_single_not(self):
+        perm = BitPermutation([1, 0])
+        circ = transformation_based_synthesis(perm)
+        assert circ.permutation() == perm
+        assert len(circ) == 1
+
+    def test_cnot_function(self):
+        perm = BitPermutation([0, 3, 2, 1])  # CNOT(0 -> 1)
+        circ = transformation_based_synthesis(perm)
+        assert circ.permutation() == perm
+
+    def test_paper_pi(self, paper_pi):
+        circ = transformation_based_synthesis(paper_pi)
+        assert circ.permutation() == paper_pi
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_permutations(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(1, 5)
+        perm = BitPermutation.random(n, seed=seed)
+        circ = transformation_based_synthesis(perm)
+        assert circ.permutation() == perm
+
+    def test_all_two_bit_permutations(self):
+        """Exhaustive over S_4: every 2-line permutation synthesizes."""
+        from itertools import permutations
+
+        for image in permutations(range(4)):
+            perm = BitPermutation(list(image))
+            circ = transformation_based_synthesis(perm)
+            assert circ.permutation() == perm
+
+    def test_hwb(self):
+        perm = BitPermutation.hidden_weighted_bit(4)
+        circ = transformation_based_synthesis(perm)
+        assert circ.permutation() == perm
+
+
+class TestBidirectional:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_permutations(self, seed):
+        rng = random.Random(seed + 1000)
+        n = rng.randint(1, 5)
+        perm = BitPermutation.random(n, seed=seed + 1000)
+        circ = bidirectional_synthesis(perm)
+        assert circ.permutation() == perm
+
+    def test_never_worse_on_average(self):
+        """Bidirectional should win or tie on most instances (the
+        motivation for the variant in [43])."""
+        wins = ties = losses = 0
+        for seed in range(40):
+            perm = BitPermutation.random(4, seed=seed)
+            basic = len(transformation_based_synthesis(perm))
+            bidir = len(bidirectional_synthesis(perm))
+            if bidir < basic:
+                wins += 1
+            elif bidir == basic:
+                ties += 1
+            else:
+                losses += 1
+        assert wins + ties > losses
+
+    def test_hwb_improvement(self):
+        perm = BitPermutation.hidden_weighted_bit(4)
+        basic = len(transformation_based_synthesis(perm))
+        bidir = len(bidirectional_synthesis(perm))
+        assert bidir <= basic
+
+    def test_all_two_bit_permutations(self):
+        from itertools import permutations
+
+        for image in permutations(range(4)):
+            perm = BitPermutation(list(image))
+            assert bidirectional_synthesis(perm).permutation() == perm
