@@ -11,6 +11,7 @@ Reproduced series: statevector seconds-per-layer vs qubit count
 statevector, and the verification cross-check between both engines.
 """
 
+import os
 import time
 
 from conftest import report
@@ -55,6 +56,54 @@ def test_statevector_scaling(benchmark):
     report("CLAIM-SIM: statevector scaling", rows)
     # exponential shape: 18 qubits must cost much more than 8 qubits
     assert timings[-1][1] > 4 * timings[0][1]
+
+
+def _time_evolution(n, use_kernels, repeats=3):
+    """Best-of-``repeats`` wall time of one layered_circuit(n) evolution."""
+    circ = layered_circuit(n)
+    best = float("inf")
+    for _ in range(repeats):
+        state = Statevector(n)
+        state.use_kernels = use_kernels
+        start = time.perf_counter()
+        state.evolve(circ)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_kernels_vs_dense(benchmark):
+    """In-place kernel + fusion path vs the seed tensordot pipeline.
+
+    The kernel path (bit-sliced views, gate fusion, matmul blocks) must
+    be at least 5x faster than the dense seed implementation on the
+    layered_circuit(16) series.
+    """
+
+    def _run():
+        rows = [("series: layered_circuit(n), kernels vs dense seed path", "")]
+        speedups = {}
+        for n in (8, 10, 12, 14, 16):
+            fast = _time_evolution(n, use_kernels=True)
+            dense = _time_evolution(n, use_kernels=False)
+            speedups[n] = dense / fast
+            rows.append(
+                (
+                    f"n = {n:2d}",
+                    f"kernels = {fast * 1000:8.2f} ms"
+                    f"  dense = {dense * 1000:8.2f} ms"
+                    f"  speedup = {dense / fast:5.1f}x",
+                )
+            )
+        report("CLAIM-SIM: kernel layer speedup", rows)
+        # the hard perf gate only applies to real benchmark runs on
+        # dedicated hardware; --benchmark-disable smoke runs and noisy
+        # shared CI runners (CI env var) just exercise the code path
+        if benchmark.enabled and not os.environ.get("CI"):
+            assert speedups[16] >= 5.0, (
+                f"kernel path only {speedups[16]:.1f}x faster at n=16"
+            )
+
+    benchmark.pedantic(_run, rounds=1, iterations=1)
 
 
 def test_stabilizer_reach(benchmark):

@@ -17,6 +17,7 @@ from __future__ import annotations
 import cmath
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -262,20 +263,49 @@ class Gate:
         return "".join(parts)
 
 
+@lru_cache(maxsize=4096)
+def _cached_base_matrix(base: str, params: Tuple[float, ...]) -> np.ndarray:
+    if base == "swap":
+        matrix = _SWAP_MATRIX.copy()
+    elif base in _FIXED_MATRICES:
+        matrix = _FIXED_MATRICES[base].copy()
+    elif base in ("rx", "ry", "rz", "p"):
+        matrix = rotation_matrix(base, params[0])
+    else:
+        raise ValueError(f"unknown gate {base!r}")
+    matrix.flags.writeable = False  # shared across callers
+    return matrix
+
+
+@lru_cache(maxsize=4096)
+def _cached_gate_matrix(
+    base: str, params: Tuple[float, ...], num_controls: int
+) -> np.ndarray:
+    matrix = _cached_base_matrix(base, params)
+    if num_controls:
+        matrix = _controlled(matrix, num_controls)
+        matrix.flags.writeable = False
+    return matrix
+
+
+def base_matrix(base: str, params: Tuple[float, ...] = ()) -> np.ndarray:
+    """Cached (read-only) matrix of an uncontrolled base gate."""
+    return _cached_base_matrix(base, tuple(params))
+
+
 def gate_matrix(gate: Gate) -> np.ndarray:
-    """Return the unitary matrix of ``gate`` on its local qubit space."""
+    """Return the unitary matrix of ``gate`` on its local qubit space.
+
+    Matrices of fixed and controlled gates are built once and cached
+    (keyed by base name, parameters, and control count); the returned
+    arrays are read-only — copy before mutating.
+    """
     if not gate.is_unitary:
         raise ValueError(f"gate {gate.name!r} has no unitary matrix")
-    base = gate.base_name
-    if base == "swap":
-        matrix = _SWAP_MATRIX
-    elif base in _FIXED_MATRICES:
-        matrix = _FIXED_MATRICES[base]
-    elif base in ("rx", "ry", "rz", "p"):
-        matrix = rotation_matrix(base, gate.params[0])
-    else:
-        raise ValueError(f"unknown gate {gate.name!r}")
-    return _controlled(matrix, len(gate.controls))
+    try:
+        return _cached_gate_matrix(gate.base_name, gate.params, len(gate.controls))
+    except ValueError:
+        raise ValueError(f"unknown gate {gate.name!r}") from None
 
 
 def is_clifford_t_name(name: str) -> bool:

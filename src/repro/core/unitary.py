@@ -4,6 +4,12 @@ Used by the test-suite and the verification step of the compilation
 flow (Sec. IX of the paper discusses verification of synthesized
 circuits).  Only practical for small qubit counts; the simulator
 package handles larger widths without materializing matrices.
+
+Gate application is delegated to the batched in-place kernels of
+:mod:`repro.simulator.kernels`: the ``2^n x 2^n`` unitary is treated
+as a batch of ``2^n`` column states indexed by the row (state) axis,
+so the same bit-sliced code drives both the simulator and the dense
+verifier.
 """
 
 from __future__ import annotations
@@ -16,38 +22,23 @@ if TYPE_CHECKING:  # pragma: no cover
     from .circuit import QuantumCircuit
 
 
+def _apply_gate_inplace(unitary: np.ndarray, gate, num_qubits: int) -> None:
+    """Left-multiply ``unitary`` by ``gate`` in place via the kernels."""
+    from ..simulator import kernels
+
+    if not kernels.apply_gate(unitary, gate, num_qubits):
+        kernels.apply_matrix(unitary, gate.matrix(), gate.qubits, num_qubits)
+
+
 def apply_gate_to_unitary(unitary: np.ndarray, gate, num_qubits: int) -> np.ndarray:
     """Left-multiply ``unitary`` by ``gate`` lifted to ``num_qubits``.
 
-    Qubit 0 is the least-significant bit of row/column indices.
+    Qubit 0 is the least-significant bit of row/column indices.  The
+    input is not modified; a new array is returned.
     """
-    local = gate.matrix()
-    qubits = gate.qubits  # controls first (most significant), then targets
-    k = len(qubits)
-    dim = 1 << num_qubits
-    # Reshape to tensor with one axis per qubit.  Axis i of the tensor
-    # corresponds to qubit (num_qubits - 1 - i) because numpy reshape is
-    # big-endian over the flattened index.
-    tensor = unitary.reshape([2] * num_qubits + [dim])
-    axes = [num_qubits - 1 - q for q in qubits]
-    local_tensor = local.reshape([2] * (2 * k))
-    # contract local matrix input axes with the state axes
-    tensor = np.tensordot(local_tensor, tensor, axes=(list(range(k, 2 * k)), axes))
-    # After tensordot the result axes are [out_0..out_{k-1}] followed by
-    # the remaining original axes (original order minus the contracted
-    # ones) and finally the column axis.  Restore the original layout.
-    remaining = [a for a in range(num_qubits) if a not in axes]
-    perm = []
-    out_index = {axis: i for i, axis in enumerate(axes)}
-    rem_index = {axis: k + i for i, axis in enumerate(remaining)}
-    for axis in range(num_qubits):
-        if axis in out_index:
-            perm.append(out_index[axis])
-        else:
-            perm.append(rem_index[axis])
-    perm.append(num_qubits)  # column axis stays last
-    tensor = np.transpose(tensor, perm)
-    return tensor.reshape(dim, dim)
+    out = np.array(unitary, dtype=complex)
+    _apply_gate_inplace(out, gate, num_qubits)
+    return out
 
 
 def circuit_unitary(circuit: "QuantumCircuit") -> np.ndarray:
@@ -63,7 +54,7 @@ def circuit_unitary(circuit: "QuantumCircuit") -> np.ndarray:
             continue
         if not gate.is_unitary:
             raise ValueError(f"circuit contains non-unitary gate {gate.name!r}")
-        unitary = apply_gate_to_unitary(unitary, gate, circuit.num_qubits)
+        _apply_gate_inplace(unitary, gate, circuit.num_qubits)
     return unitary
 
 

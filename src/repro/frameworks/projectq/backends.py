@@ -24,10 +24,15 @@ class Backend:
 
 
 class Simulator(Backend):
-    """Noiseless statevector backend (the 'local simulator')."""
+    """Noiseless statevector backend (the 'local simulator').
 
-    def __init__(self, seed: Optional[int] = None):
-        self._engine = StatevectorSimulator(seed=seed)
+    Executes through the in-place kernel layer of
+    :mod:`repro.simulator.kernels`; ``fusion`` toggles the gate-fusion
+    pre-pass (single-qubit run folding + diagonal merging).
+    """
+
+    def __init__(self, seed: Optional[int] = None, fusion: bool = True):
+        self._engine = StatevectorSimulator(seed=seed, fusion=fusion)
         self.final_state: Optional[Statevector] = None
         self.last_counts: Dict[int, int] = {}
 

@@ -1,5 +1,10 @@
-"""Simulation backends: statevector, stabilizer, noisy, resource counter."""
+"""Simulation backends: statevector, stabilizer, noisy, resource counter.
 
+The statevector, noisy, and dense-unitary paths all execute gates via
+the shared in-place kernel layer in :mod:`repro.simulator.kernels`.
+"""
+
+from . import kernels
 from .noise import NoiseModel, NoisyBackend
 from .resources import ResourceCounter, ResourceEstimate
 from .stabilizer import StabilizerSimulator, StabilizerState, StabilizerError
@@ -11,6 +16,7 @@ from .statevector import (
 )
 
 __all__ = [
+    "kernels",
     "NoiseModel",
     "NoisyBackend",
     "ResourceCounter",

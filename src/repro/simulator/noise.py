@@ -25,7 +25,8 @@ import numpy as np
 
 from ..core.circuit import QuantumCircuit
 from ..core.gates import Gate
-from .statevector import SimulationResult, Statevector
+from . import kernels
+from .statevector import SimulationResult, Statevector, _measured_width
 
 
 @dataclass(frozen=True)
@@ -75,16 +76,28 @@ class NoisyBackend:
         self._seed = seed
 
     def run(self, circuit: QuantumCircuit, shots: int = 1024) -> SimulationResult:
-        """Execute ``circuit`` with noise for ``shots`` repetitions."""
+        """Execute ``circuit`` with noise for ``shots`` repetitions.
+
+        Gate application goes through the in-place kernel layer
+        (:mod:`repro.simulator.kernels`); per-gate error rates are
+        looked up once per circuit rather than once per shot, and the
+        injected Pauli errors skip Gate construction entirely.  No gate
+        fusion happens here — the noise model is defined per physical
+        gate, so the gate sequence must be executed verbatim.
+        """
         rng = np.random.default_rng(self._seed)
         counts: Dict[int, int] = {}
         model = self.noise_model
+        num_qubits = circuit.num_qubits
+        gates = [g for g in circuit.gates if g.name != "barrier"]
+        error_rates = [
+            0.0 if g.is_measurement or g.name == "reset" else model.gate_error(g)
+            for g in gates
+        ]
         for _ in range(shots):
-            state = Statevector(circuit.num_qubits)
+            state = Statevector(num_qubits)
             creg = 0
-            for gate in circuit.gates:
-                if gate.name == "barrier":
-                    continue
+            for gate, p_err in zip(gates, error_rates):
                 if gate.is_measurement:
                     bit = state.measure_qubit(gate.targets[0], rng)
                     if rng.random() < model.p_meas:
@@ -96,14 +109,15 @@ class NoisyBackend:
                     state.reset_qubit(gate.targets[0], rng)
                     continue
                 state.apply_gate(gate)
-                p_err = model.gate_error(gate)
                 if p_err > 0.0:
                     for qubit in gate.qubits:
                         if rng.random() < p_err:
                             pauli = _PAULIS[rng.integers(0, 3)]
-                            state.apply_gate(Gate(pauli, (qubit,)))
+                            kernels.apply_pauli(
+                                state.data, pauli, qubit, num_qubits
+                            )
             counts[creg] = counts.get(creg, 0) + 1
-        return SimulationResult(counts, None, shots)
+        return SimulationResult(counts, None, shots, _measured_width(circuit))
 
     def run_repeated(
         self, circuit: QuantumCircuit, shots: int, repetitions: int

@@ -5,20 +5,54 @@ the reference oracle for every synthesis/optimization test in this
 repository.  States are numpy complex vectors of length ``2**n`` with
 qubit 0 as the least-significant bit of the basis-state index.
 
-Gates are applied by reshaping the state into an ``n``-dimensional
-tensor and contracting the gate's local matrix over the touched axes,
-which is O(2^n) per gate rather than O(4^n).
+Execution model
+---------------
+Gates are applied by the in-place bit-sliced kernels of
+:mod:`repro.simulator.kernels`: the state is viewed as a ``(2,) * n``
+tensor (qubit ``q`` on axis ``n - 1 - q``) and each gate updates only
+the slices it touches —
+
+* named single-qubit gates are one 2x2 linear combination over two
+  half-state views (O(2^n) flops, zero full-state copies);
+* diagonal gates (Z/S/T/RZ/P and controlled forms) are elementwise
+  multiplies on the |1>-control subspace only;
+* X/Y/SWAP families are slice exchanges; an ``mcx`` with ``c``
+  controls touches just ``2^(n-c)`` amplitudes;
+* anything without a dedicated kernel (an arbitrary matrix passed to
+  :meth:`Statevector.apply_matrix`) falls back to a generic in-place
+  ``2^k``-slice kernel.
+
+:meth:`Statevector.evolve` additionally runs the gate-fusion pre-pass
+(:func:`repro.simulator.kernels.compile_circuit`): wire-adjacent runs
+of single-qubit gates collapse into one 2x2 matrix, consecutive
+diagonal gates merge into a single local diagonal, and the remaining
+ops are grouped into multi-qubit blocks executed as one BLAS matmul
+each, so deep Clifford+T circuits execute far fewer full-state sweeps
+than they have gates.
+
+Setting ``Statevector.use_kernels = False`` (class or instance level)
+restores the seed implementation — dense tensordot contraction with
+``np.arange``-based MCX/MCZ fast paths — which
+``benchmarks/bench_simulator_scaling.py`` uses as the comparison
+baseline.
+
+Sampling is vectorized: measurement histograms are produced by numpy
+bit-gathers over the sampled outcome array plus ``np.unique`` instead
+of per-shot Python loops, and shot-based runs with mid-circuit
+measurements share the deterministic unitary prefix across shots
+instead of re-evolving every shot from |0...0>.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.circuit import QuantumCircuit
 from ..core.gates import Gate
+from . import kernels
 
 
 class SimulationError(RuntimeError):
@@ -27,6 +61,10 @@ class SimulationError(RuntimeError):
 
 class Statevector:
     """Mutable n-qubit pure state."""
+
+    #: route gates through the in-place kernel layer; set to False to
+    #: fall back to the dense tensordot implementation (benchmarking).
+    use_kernels = True
 
     def __init__(self, num_qubits: int, data: Optional[np.ndarray] = None):
         if num_qubits < 0:
@@ -76,7 +114,10 @@ class Statevector:
         return state
 
     def copy(self) -> "Statevector":
-        return Statevector(self.num_qubits, self.data)
+        out = Statevector(self.num_qubits, self.data)
+        if "use_kernels" in self.__dict__:  # carry instance-level override
+            out.use_kernels = self.use_kernels
+        return out
 
     # ------------------------------------------------------------------
     # evolution
@@ -90,6 +131,14 @@ class Statevector:
         k = len(qubits)
         if matrix.shape != (1 << k, 1 << k):
             raise ValueError("matrix does not match qubit count")
+        if self.use_kernels:
+            kernels.apply_matrix(self.data, matrix, qubits, self.num_qubits)
+        else:
+            self._apply_matrix_dense(matrix, qubits)
+
+    def _apply_matrix_dense(self, matrix: np.ndarray, qubits: Sequence[int]) -> None:
+        """Seed implementation: tensordot + transpose + contiguous copy."""
+        k = len(qubits)
         n = self.num_qubits
         tensor = self.data.reshape([2] * n)
         axes = [n - 1 - q for q in qubits]
@@ -105,23 +154,27 @@ class Statevector:
         self.data = np.ascontiguousarray(np.transpose(tensor, perm)).reshape(-1)
 
     def apply_gate(self, gate: Gate) -> None:
-        """Apply a unitary gate (with fast paths for classical gates)."""
+        """Apply a unitary gate via its dedicated kernel when one exists."""
         if gate.name == "barrier" or gate.name == "id":
             return
         if not gate.is_unitary:
             raise SimulationError(
                 f"apply_gate cannot handle non-unitary {gate.name!r}"
             )
-        if gate.base_name == "x" and not gate.params:
-            self._apply_mcx(gate.controls, gate.targets[0])
-            return
-        if gate.base_name == "z" and not gate.params:
-            self._apply_mcz(gate.controls, gate.targets[0])
-            return
+        if self.use_kernels:
+            if kernels.apply_gate(self.data, gate, self.num_qubits):
+                return
+        else:
+            if gate.base_name == "x" and not gate.params:
+                self._apply_mcx(gate.controls, gate.targets[0])
+                return
+            if gate.base_name == "z" and not gate.params:
+                self._apply_mcz(gate.controls, gate.targets[0])
+                return
         self.apply_matrix(gate.matrix(), gate.qubits)
 
     def _apply_mcx(self, controls: Tuple[int, ...], target: int) -> None:
-        """Permutation fast path for X/CX/CCX/MCX."""
+        """Seed permutation path for X/CX/CCX/MCX (dense fallback)."""
         indices = np.arange(self.data.size)
         mask = np.ones(self.data.size, dtype=bool)
         for ctl in controls:
@@ -132,15 +185,19 @@ class Statevector:
         self.data = new_data
 
     def _apply_mcz(self, controls: Tuple[int, ...], target: int) -> None:
-        """Diagonal fast path for Z/CZ/CCZ/MCZ."""
+        """Seed diagonal path for Z/CZ/CCZ/MCZ (dense fallback)."""
         indices = np.arange(self.data.size)
         mask = (indices >> target) & 1 == 1
         for ctl in controls:
             mask &= (indices >> ctl) & 1 == 1
         self.data[mask] *= -1.0
 
-    def evolve(self, circuit: QuantumCircuit) -> "Statevector":
-        """Apply all unitary gates of ``circuit`` in place; returns self."""
+    def evolve(self, circuit: QuantumCircuit, fuse: bool = True) -> "Statevector":
+        """Apply all unitary gates of ``circuit`` in place; returns self.
+
+        With ``fuse=True`` (the default) the circuit first runs through
+        the kernel layer's gate-fusion pre-pass.
+        """
         if circuit.num_qubits != self.num_qubits:
             raise SimulationError("circuit width does not match state")
         for gate in circuit.gates:
@@ -149,7 +206,7 @@ class Statevector:
                     "evolve() only handles unitary circuits; "
                     "use StatevectorSimulator.run for measurements"
                 )
-            self.apply_gate(gate)
+        _evolve_gates(self, circuit.gates, fuse)
         return self
 
     # ------------------------------------------------------------------
@@ -178,23 +235,20 @@ class Statevector:
         self, qubit: int, rng: np.random.Generator
     ) -> int:
         """Projectively measure one qubit, collapsing the state."""
-        indices = np.arange(self.data.size)
-        mask_one = ((indices >> qubit) & 1).astype(bool)
-        p_one = float(np.sum(np.abs(self.data[mask_one]) ** 2))
+        view = self.data.reshape(-1, 2, 1 << qubit)
+        p_one = float(np.sum(np.abs(view[:, 1, :]) ** 2))
         outcome = 1 if rng.random() < p_one else 0
-        keep = mask_one if outcome else ~mask_one
         prob = p_one if outcome else 1.0 - p_one
         if prob <= 0.0:
             raise SimulationError("measurement of zero-probability branch")
-        new_data = np.zeros_like(self.data)
-        new_data[keep] = self.data[keep] / math.sqrt(prob)
-        self.data = new_data
+        view[:, 1 - outcome, :] = 0.0
+        self.data *= 1.0 / math.sqrt(prob)
         return outcome
 
     def reset_qubit(self, qubit: int, rng: np.random.Generator) -> None:
         """Measure and, if 1, flip back to |0>."""
         if self.measure_qubit(qubit, rng) == 1:
-            self._apply_mcx((), qubit)
+            kernels.apply_pauli(self.data, "x", qubit, self.num_qubits)
 
     def sample_counts(
         self,
@@ -205,19 +259,15 @@ class Statevector:
         """Sample measurement outcomes without collapsing the state.
 
         Returns a histogram mapping the integer outcome (bit i of the
-        key = measured value of ``qubits[i]``) to its frequency.
+        key = measured value of ``qubits[i]``) to its frequency.  The
+        histogram is produced by a vectorized bit-gather over the
+        sampled outcomes rather than a per-shot loop.
         """
         probs = self.probabilities()
         outcomes = rng.choice(probs.size, size=shots, p=probs / probs.sum())
         if qubits is None:
             qubits = range(self.num_qubits)
-        counts: Dict[int, int] = {}
-        for outcome in outcomes:
-            key = 0
-            for i, q in enumerate(qubits):
-                key |= ((int(outcome) >> q) & 1) << i
-            counts[key] = counts.get(key, 0) + 1
-        return counts
+        return _bit_gather_counts(outcomes, list(enumerate(qubits)))
 
     def __str__(self) -> str:
         terms = []
@@ -228,11 +278,29 @@ class Statevector:
         return " + ".join(terms) if terms else "0"
 
 
+def _bit_gather_counts(
+    outcomes: np.ndarray, bit_map: Sequence[Tuple[int, int]]
+) -> Dict[int, int]:
+    """Histogram of remapped outcome bits, fully vectorized.
+
+    ``bit_map`` lists (destination_bit, source_qubit) pairs: bit
+    ``source_qubit`` of each sampled outcome lands at ``destination_bit``
+    of the histogram key.
+    """
+    outcomes = np.asarray(outcomes, dtype=np.int64)
+    keys = np.zeros(outcomes.shape, dtype=np.int64)
+    for dest, src in bit_map:
+        keys |= ((outcomes >> src) & 1) << dest
+    values, counts = np.unique(keys, return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}
+
+
 class StatevectorSimulator:
     """Shot-based simulator supporting mid-circuit measurement/reset."""
 
-    def __init__(self, seed: Optional[int] = None):
+    def __init__(self, seed: Optional[int] = None, fusion: bool = True):
         self._seed = seed
+        self._fusion = fusion
 
     def run(
         self,
@@ -243,49 +311,56 @@ class StatevectorSimulator:
         """Execute ``circuit`` for ``shots`` repetitions.
 
         If the circuit's measurements are all terminal, a single state
-        evolution is sampled ``shots`` times; otherwise each shot is
-        simulated independently.
+        evolution is sampled ``shots`` times; otherwise the unitary
+        prefix before the first measurement/reset is evolved once and
+        shared, and only the remainder is re-simulated per shot.
         """
         rng = np.random.default_rng(self._seed)
         if not circuit.has_measurements():
             state = initial_state.copy() if initial_state else Statevector(
                 circuit.num_qubits
             )
-            state.evolve(circuit)
+            state.evolve(circuit, fuse=self._fusion)
             return SimulationResult({}, state, shots)
+
+        num_clbits = _measured_width(circuit)
 
         if _measurements_terminal(circuit):
             state = initial_state.copy() if initial_state else Statevector(
                 circuit.num_qubits
             )
             measure_map: List[Tuple[int, int]] = []
+            prefix: List[Gate] = []
             for gate in circuit.gates:
                 if gate.is_measurement:
-                    measure_map.append((gate.targets[0], gate.cbits[0]))
+                    measure_map.append((gate.cbits[0], gate.targets[0]))
                 elif gate.name == "reset":
                     raise SimulationError("reset after measurement unsupported")
                 else:
-                    state.apply_gate(gate)
+                    prefix.append(gate)
+            _evolve_gates(state, prefix, self._fusion)
             probs = state.probabilities()
             outcomes = rng.choice(
                 probs.size, size=shots, p=probs / probs.sum()
             )
-            counts: Dict[int, int] = {}
-            for outcome in outcomes:
-                key = 0
-                for qubit, clbit in measure_map:
-                    key |= ((int(outcome) >> qubit) & 1) << clbit
-                counts[key] = counts.get(key, 0) + 1
-            return SimulationResult(counts, state, shots)
+            counts = _bit_gather_counts(outcomes, measure_map)
+            return SimulationResult(counts, state, shots, num_clbits)
 
-        counts = {}
+        # mid-circuit measurement: evolve the deterministic unitary
+        # prefix once and re-simulate only the suffix per shot.
+        split = _first_nonunitary_index(circuit)
+        base = initial_state.copy() if initial_state else Statevector(
+            circuit.num_qubits
+        )
+        _evolve_gates(base, circuit.gates[:split], self._fusion)
+        suffix = circuit.gates[split:]
+
+        counts: Dict[int, int] = {}
         last_state = None
         for _ in range(shots):
-            state = initial_state.copy() if initial_state else Statevector(
-                circuit.num_qubits
-            )
+            state = base.copy()
             creg = 0
-            for gate in circuit.gates:
+            for gate in suffix:
                 if gate.is_measurement:
                     bit = state.measure_qubit(gate.targets[0], rng)
                     clbit = gate.cbits[0]
@@ -296,12 +371,46 @@ class StatevectorSimulator:
                     state.apply_gate(gate)
             counts[creg] = counts.get(creg, 0) + 1
             last_state = state
-        return SimulationResult(counts, last_state, shots)
+        return SimulationResult(counts, last_state, shots, num_clbits)
 
     def statevector(self, circuit: QuantumCircuit) -> Statevector:
         """Evolve |0..0> through a unitary circuit and return the state."""
         state = Statevector(circuit.num_qubits)
-        return state.evolve(circuit)
+        return state.evolve(circuit, fuse=self._fusion)
+
+
+def _evolve_gates(
+    state: Statevector, gates: Sequence[Gate], fusion: bool
+) -> None:
+    """Apply a unitary gate list in place (fused when enabled)."""
+    if state.use_kernels:
+        ops = kernels.compile_circuit(gates, fuse=fusion)
+        kernels.apply_ops(state.data, ops, state.num_qubits)
+    else:
+        for gate in gates:
+            state.apply_gate(gate)
+
+
+def _first_nonunitary_index(circuit: QuantumCircuit) -> int:
+    """Index of the first measurement/reset gate."""
+    for i, gate in enumerate(circuit.gates):
+        if gate.is_measurement or gate.name == "reset":
+            return i
+    return len(circuit.gates)
+
+
+def _measured_width(circuit: QuantumCircuit) -> int:
+    """Histogram bit-width of a circuit's measured classical register.
+
+    The declared classical register width wins (a 3-clbit circuit
+    formats 3-character bitstrings even if only clbit 0 is measured);
+    circuits that never declared clbits fall back to the highest
+    measured bit.
+    """
+    if circuit.num_clbits:
+        return circuit.num_clbits
+    bits = [g.cbits[0] for g in circuit.gates if g.is_measurement]
+    return (max(bits) + 1) if bits else 1
 
 
 def _measurements_terminal(circuit: QuantumCircuit) -> bool:
@@ -326,13 +435,24 @@ class SimulationResult:
         counts: Dict[int, int],
         statevector: Optional[Statevector],
         shots: int,
+        num_clbits: Optional[int] = None,
     ):
         self.counts = counts
         self.final_state = statevector
         self.shots = shots
+        #: width (in bits) of the measured classical register, when the
+        #: producing backend knows it; used for bitstring formatting.
+        self.num_clbits = num_clbits
 
     def counts_by_bitstring(self, width: Optional[int] = None) -> Dict[str, int]:
-        """Counts keyed by bitstrings (most-significant bit first)."""
+        """Counts keyed by bitstrings (most-significant bit first).
+
+        The width is, in order of preference: the explicit ``width``
+        argument, the measured classical register width recorded by the
+        backend, or the widest observed outcome / final-state width.
+        """
+        if width is None:
+            width = self.num_clbits
         if width is None:
             width = max(
                 (key.bit_length() for key in self.counts), default=1

@@ -1,0 +1,39 @@
+"""Shared non-fixture test helpers (importable as a plain module).
+
+Kept outside ``conftest.py`` so test modules can import it absolutely:
+pytest inserts ``tests/`` into ``sys.path`` (rootdir conftest, prepend
+import mode), and a uniquely-named module avoids the clash between
+``tests/conftest.py`` and ``benchmarks/conftest.py`` when the whole
+repository is collected in one run.
+"""
+
+import random
+
+import numpy as np
+
+from repro.core.circuit import QuantumCircuit
+
+
+def random_clifford_t_circuit(num_qubits, num_gates, seed=0):
+    """A random circuit over the Clifford+T basis (no measurement)."""
+    rng = random.Random(seed)
+    circuit = QuantumCircuit(num_qubits)
+    one_qubit = ["h", "x", "y", "z", "s", "sdg", "t", "tdg"]
+    for _ in range(num_gates):
+        if num_qubits >= 2 and rng.random() < 0.35:
+            a, b = rng.sample(range(num_qubits), 2)
+            if rng.random() < 0.8:
+                circuit.cx(a, b)
+            else:
+                circuit.cz(a, b)
+        else:
+            getattr(circuit, rng.choice(one_qubit))(
+                rng.randrange(num_qubits)
+            )
+    return circuit
+
+
+def assert_states_equal(state_a, state_b, atol=1e-9):
+    assert state_a.num_qubits == state_b.num_qubits
+    fidelity = abs(np.vdot(state_a.data, state_b.data)) ** 2
+    assert fidelity > 1 - atol, f"states differ (fidelity {fidelity})"

@@ -2,12 +2,10 @@
 
 import random
 
-import numpy as np
 import pytest
 
 from repro.boolean.permutation import BitPermutation
 from repro.boolean.truth_table import TruthTable
-from repro.core.circuit import QuantumCircuit
 
 
 @pytest.fixture
@@ -29,26 +27,7 @@ def paper_f4():
     )
 
 
-def random_clifford_t_circuit(num_qubits, num_gates, seed=0):
-    """A random circuit over the Clifford+T basis (no measurement)."""
-    rng = random.Random(seed)
-    circuit = QuantumCircuit(num_qubits)
-    one_qubit = ["h", "x", "y", "z", "s", "sdg", "t", "tdg"]
-    for _ in range(num_gates):
-        if num_qubits >= 2 and rng.random() < 0.35:
-            a, b = rng.sample(range(num_qubits), 2)
-            if rng.random() < 0.8:
-                circuit.cx(a, b)
-            else:
-                circuit.cz(a, b)
-        else:
-            getattr(circuit, rng.choice(one_qubit))(
-                rng.randrange(num_qubits)
-            )
-    return circuit
-
-
-def assert_states_equal(state_a, state_b, atol=1e-9):
-    assert state_a.num_qubits == state_b.num_qubits
-    fidelity = abs(np.vdot(state_a.data, state_b.data)) ** 2
-    assert fidelity > 1 - atol, f"states differ (fidelity {fidelity})"
+# Re-exported for backwards compatibility; the canonical home of these
+# helpers is tests/_helpers.py so test modules can import them without
+# relying on the ambiguous top-level module name "conftest".
+from _helpers import assert_states_equal, random_clifford_t_circuit  # noqa: E402,F401

@@ -14,7 +14,7 @@ from repro.optimization.simplify import (
 from repro.synthesis.reversible import MctGate, ReversibleCircuit
 from repro.synthesis.transformation import transformation_based_synthesis
 
-from ..conftest import random_clifford_t_circuit
+from _helpers import random_clifford_t_circuit
 
 
 class TestReversibleSimplify:

@@ -17,7 +17,7 @@ from repro.optimization.tpar import (
 )
 from repro.synthesis.transformation import transformation_based_synthesis
 
-from ..conftest import random_clifford_t_circuit
+from _helpers import random_clifford_t_circuit
 
 
 class TestTparOptimize:

@@ -13,7 +13,7 @@ from repro.simulator.statevector import (
     StatevectorSimulator,
 )
 
-from ..conftest import random_clifford_t_circuit
+from _helpers import random_clifford_t_circuit
 
 
 class TestStatevectorBasics:
@@ -166,6 +166,45 @@ class TestSimulatorRuns:
         circ = QuantumCircuit(2, 2).x(1).measure(0, 0).measure(1, 1)
         result = StatevectorSimulator(seed=0).run(circ, shots=10)
         assert result.counts_by_bitstring() == {"10": 10}
+
+    def test_counts_by_bitstring_all_zero_without_final_state(self):
+        """Width must come from the measured clbits, not key.bit_length().
+
+        Regression: an all-zero histogram with no final state used to
+        format as a single '0' regardless of the register width.
+        """
+        from repro.simulator.statevector import SimulationResult
+
+        result = SimulationResult({0: 7}, None, 7, num_clbits=3)
+        assert result.counts_by_bitstring() == {"000": 7}
+
+    def test_counts_by_bitstring_width_from_measured_clbits(self):
+        """Simulator runs record the measured register width."""
+        circ = QuantumCircuit(3, 3)
+        for q in range(3):
+            circ.measure(q, q)
+        result = StatevectorSimulator(seed=1).run(circ, shots=5)
+        assert result.num_clbits == 3
+        assert result.counts_by_bitstring() == {"000": 5}
+
+    def test_counts_by_bitstring_partial_measurement_keeps_register_width(self):
+        """A declared 3-clbit register formats 3 chars wide even when
+        only one clbit is measured."""
+        circ = QuantumCircuit(3, 3).x(0).measure(0, 0)
+        result = StatevectorSimulator(seed=2).run(circ, shots=5)
+        assert result.counts_by_bitstring() == {"001": 5}
+
+    def test_counts_by_bitstring_noisy_backend_width(self):
+        """NoisyBackend results (no final state) format full-width too."""
+        from repro.simulator.noise import NoiseModel, NoisyBackend
+
+        circ = QuantumCircuit(3, 3)
+        for q in range(3):
+            circ.measure(q, q)
+        backend = NoisyBackend(NoiseModel.noiseless(), seed=0)
+        result = backend.run(circ, shots=4)
+        assert result.final_state is None
+        assert result.counts_by_bitstring() == {"000": 4}
 
     def test_most_frequent_requires_counts(self):
         circ = QuantumCircuit(1).h(0)
