@@ -11,6 +11,12 @@ y-registers across the device, so constrained topologies force SWAP
 insertion — more two-qubit gates, and under the chip noise model a
 measurably lower success probability.  That chain (topology -> SWAPs
 -> fidelity) is part of why Fig. 6 sits near p ~ 0.63.
+
+Since PR 2 the routing stage executes through the pass manager: each
+topology run dispatches one :class:`repro.pipeline.RoutePass` (the
+final stage of the :func:`repro.pipeline.flows.device` preset) over
+the already-prepared circuit, and the pass records carry the SWAP
+counts.
 """
 
 from conftest import report
@@ -21,9 +27,17 @@ from repro.boolean.permutation import BitPermutation
 from repro.boolean.truth_table import TruthTable
 from repro.core.circuit import QuantumCircuit
 from repro.mapping.barenco import map_to_clifford_t
-from repro.mapping.routing import CouplingMap, route_circuit, verify_routing
+from repro.mapping.routing import CouplingMap, verify_routing
 from repro.optimization.simplify import cancel_adjacent_gates
+from repro.pipeline import FlowState, Pipeline, RoutePass
 from bench_fig5_simple_hidden_shift import run_program
+
+
+def route_on(circuit, coupling, pipeline=None):
+    """Route ``circuit`` onto ``coupling`` through the pass manager."""
+    runner = pipeline if pipeline is not None else Pipeline(cache=None)
+    state, record = runner.apply(RoutePass(coupling), FlowState(quantum=circuit))
+    return state.routing, record
 
 
 def mm_unitary_circuit():
@@ -55,8 +69,9 @@ def test_fig4_circuit_needs_no_routing(benchmark):
             ("ibmqx4", CouplingMap.ibm_qx4()),
             ("line-5", CouplingMap.line(5)),
         ):
-            result = route_circuit(unitary_part, cmap)
+            result, record = route_on(unitary_part, cmap)
             rows.append((name, f"SWAPs = {result.swap_count}"))
+            assert record.details["swaps"] == 0
             assert result.swap_count == 0
             assert verify_routing(unitary_part, result)
         report("EXT-ROUTE: Fig. 4 circuit routes SWAP-free", rows)
@@ -66,7 +81,7 @@ def test_fig4_circuit_needs_no_routing(benchmark):
 def test_mm_routing_overhead(benchmark):
     circuit = mm_unitary_circuit()
     benchmark.pedantic(
-        route_circuit, args=(circuit, CouplingMap.line(6)),
+        route_on, args=(circuit, CouplingMap.line(6)),
         rounds=3, iterations=1,
     )
 
@@ -78,7 +93,7 @@ def test_mm_routing_overhead(benchmark):
         ("ring-6", CouplingMap.ring(6)),
         ("line-6", CouplingMap.line(6)),
     ):
-        result = route_circuit(circuit, cmap)
+        result, record = route_on(circuit, cmap)
         ok = verify_routing(circuit, result)
         rows.append(
             (
@@ -88,9 +103,10 @@ def test_mm_routing_overhead(benchmark):
             )
         )
         assert ok
+        assert record.details["swaps"] == result.swap_count
         if baseline is None:
             baseline = result.swap_count
     report("EXT-ROUTE: Fig. 7/8 MM circuit on device topologies", rows)
-    line_result = route_circuit(circuit, CouplingMap.line(6))
+    line_result, _ = route_on(circuit, CouplingMap.line(6))
     assert baseline == 0
     assert line_result.swap_count > 0

@@ -13,38 +13,43 @@ Reproduced rows: the per-stage gate statistics.  The paper prints no
 absolute numbers for this pipeline, so the shape obligations are:
 every stage preserves the function, revsimp never grows the cascade,
 rptm emits pure Clifford+T, and tpar strictly reduces T-count.
+
+Since PR 2 the script executes through the pass manager: the timed
+kernel runs the :func:`repro.pipeline.flows.eq5` preset (with caching
+disabled so the measurement is real compute), and the shell path is
+asserted to produce the identical circuit gate-for-gate.
 """
 
 from conftest import report
 
 from repro.boolean.permutation import BitPermutation
 from repro.core.statistics import circuit_statistics
+from repro.pipeline import Pipeline, flows
 from repro.revkit import RevKitShell
 
 
 def run_pipeline():
-    shell = RevKitShell()
-    shell.run("revgen --hwb 4; tbs; revsimp; rptm; tpar; ps -c")
-    return shell
+    pipeline = Pipeline(cache=None)
+    return flows.eq5(hwb=4).run(pipeline=pipeline)
 
 
 def test_eq5_pipeline(benchmark):
-    shell = benchmark(run_pipeline)
+    result = benchmark(run_pipeline)
 
-    # re-run stage by stage for the report
-    stage = RevKitShell()
-    stage.execute("revgen --hwb 4")
-    stage.execute("tbs")
-    tbs_gates = len(stage.reversible)
-    stage.execute("revsimp")
-    simp_gates = len(stage.reversible)
-    assert stage.reversible.permutation() == BitPermutation.hidden_weighted_bit(4)
-    stage.execute("rptm")
-    mapped = stage.quantum
-    t_before = mapped.t_count()
-    stage.execute("tpar")
-    t_after = stage.quantum.t_count()
-    stats = circuit_statistics(stage.quantum)
+    records = {record.name: record for record in result.records}
+    tbs_gates = records["tbs"].after["mct_gates"]
+    simp_gates = records["revsimp"].after["mct_gates"]
+    assert result.reversible.permutation() == BitPermutation.hidden_weighted_bit(4)
+    mapped_record = records["rptm"]
+    t_before = mapped_record.after["t_count"]
+    t_after = records["tpar"].after["t_count"]
+    stats = result.state.artifacts["statistics"]
+
+    # the RevKit shell dispatches the same passes: identical circuit
+    shell = RevKitShell(pipeline=Pipeline(cache=None))
+    shell.run("revgen --hwb 4; tbs; revsimp; rptm; tpar; ps -c")
+    assert shell.quantum.gates == result.quantum.gates
+    assert circuit_statistics(shell.quantum).as_dict() == stats.as_dict()
 
     report(
         "EQ5: revgen --hwb 4; tbs; revsimp; rptm; tpar; ps -c",
@@ -52,42 +57,68 @@ def test_eq5_pipeline(benchmark):
             ("tbs: MCT gates", tbs_gates),
             ("revsimp: MCT gates", simp_gates),
             ("revsimp preserves hwb4", True),
-            ("rptm: Clifford+T?", mapped.is_clifford_t()),
-            ("rptm: qubits", mapped.num_qubits),
+            ("rptm: Clifford+T?", mapped_record.details["clifford_t"]),
+            ("rptm: qubits", mapped_record.after["qubits"]),
             ("rptm: T-count", t_before),
             ("tpar: T-count", t_after),
             ("final gates", stats.num_gates),
             ("final depth", stats.depth),
             ("final T-depth", stats.t_depth),
             ("final 2q gates", stats.two_qubit_count),
+            ("pipeline wall-clock", f"{result.total_seconds * 1e3:.2f}ms"),
         ],
     )
     assert simp_gates <= tbs_gates
-    assert mapped.is_clifford_t()
+    assert mapped_record.details["clifford_t"]
     assert t_after < t_before
-    assert shell.quantum.is_clifford_t()
+    assert result.quantum.is_clifford_t()
 
 
 def test_eq5_pipeline_other_generators(benchmark):
     def _run():
-        """Same pipeline over the other revgen functions: the invariants
+        """Same preset over the other revgen functions: the invariants
         hold for every benchmark function, not just hwb4."""
         rows = []
-        for spec in ("--hwb 5", "--adder 4 --const 3", "--rotate 4", "--gray 4",
-                     "--random 4 --seed 11"):
-            shell = RevKitShell()
-            shell.execute(f"revgen {spec}")
-            shell.execute("tbs")
-            shell.execute("revsimp")
-            assert "matches specification: True" in shell.execute("simulate")
-            shell.execute("rptm")
-            before = shell.quantum.t_count()
-            shell.execute("tpar")
-            after = shell.quantum.t_count()
+        for label, options in (
+            ("--hwb 5", {"hwb": 5}),
+            ("--adder 4 --const 3", {"adder": 4, "const": 3}),
+            ("--rotate 4", {"rotate": 4}),
+            ("--gray 4", {"gray": 4}),
+            ("--random 4 --seed 11", {"random": 4, "seed": 11}),
+        ):
+            result = flows.eq5(**options).run(
+                pipeline=Pipeline(cache=None, verify=True)
+            )
+            assert result.reversible.permutation() == result.state.function
+            before = result.record("rptm").after["t_count"]
+            after = result.record("tpar").after["t_count"]
             rows.append(
-                (f"revgen {spec}", f"MCT={len(shell.reversible)} "
+                (f"revgen {label}", f"MCT={len(result.reversible)} "
                  f"T: {before} -> {after}")
             )
             assert after <= before
         report("EQ5 extension: pipeline across generators", rows)
+    benchmark.pedantic(_run, rounds=1, iterations=1)
+
+
+def test_eq5_cache_replays(benchmark):
+    def _run():
+        """A second identical flow run must replay every pass from the
+        content-keyed cache without recomputing."""
+        from repro.pipeline import PassCache
+
+        pipeline = Pipeline(cache=PassCache())
+        cold = flows.eq5(hwb=4).run(pipeline=pipeline)
+        warm = flows.eq5(hwb=4).run(pipeline=pipeline)
+        assert [record.cache_hit for record in cold.records] == [False] * 6
+        assert [record.cache_hit for record in warm.records] == [True] * 6
+        assert warm.quantum.gates == cold.quantum.gates
+        report(
+            "EQ5 extension: pass-result cache",
+            [
+                ("cold run wall-clock", f"{cold.total_seconds * 1e3:.2f}ms"),
+                ("warm run wall-clock", f"{warm.total_seconds * 1e3:.2f}ms"),
+                ("cache", pipeline.cache.stats()),
+            ],
+        )
     benchmark.pedantic(_run, rounds=1, iterations=1)

@@ -9,6 +9,11 @@ is validated structurally, the oracle operation is re-parsed back into
 a circuit, and the same algorithm is simulated natively — checking
 that the emitted code is both well-formed and semantically the right
 oracle.
+
+Since PR 2 the RevKit pre-processing (synthesize, revsimp, rptm,
+cancel) runs as the :data:`repro.pipeline.flows.QSHARP` preset on the
+pass manager; the bench asserts the emitted oracle circuit equals the
+preset's output gate-for-gate.
 """
 
 import numpy as np
@@ -25,6 +30,7 @@ from repro.frameworks.qsharp import (
     permutation_oracle_operation,
     validate_program,
 )
+from repro.pipeline import FlowState, Pipeline, flows
 from repro.synthesis.decomposition import decomposition_based_synthesis
 
 PAPER_PI = BitPermutation([0, 2, 3, 5, 7, 1, 4, 6])
@@ -53,10 +59,17 @@ def test_fig10_qsharp_generation(benchmark):
     )
     native = solve_hidden_shift(instance, method="mm")
 
+    # the emitted oracle is exactly the QSHARP preset's compiled circuit
+    preset = flows.QSHARP.run(
+        FlowState(function=PAPER_PI), pipeline=Pipeline(cache=None)
+    )
+    assert operation.circuit.gates == preset.quantum.gates
+
     report(
         "FIG9/10: Q# interop (RevKit as pre-processor)",
         [
             ("paper: emitted operation", "PermutationOracle (Fig. 10)"),
+            ("pipeline preset", str(flows.QSHARP)),
             ("generated program valid", validate_program(program)),
             ("operation gate statements", len(gate_lines)),
             ("paper Fig.10 gate set", "H, T, T', CNOT"),
@@ -78,13 +91,17 @@ def test_fig10_qsharp_generation(benchmark):
 def test_fig10_synthesis_choices(benchmark):
     def _run():
         """The paper uses tbs for one oracle and dbs for the other; both
-        synthesis back-ends must produce valid, equivalent Q# oracles."""
+        synthesis back-ends must produce valid, equivalent Q# oracles
+        (compiled under the pass manager's fail-fast verification)."""
         rows = []
         for name, synth in (
             ("tbs (default)", None),
             ("dbs", decomposition_based_synthesis),
         ):
-            operation = permutation_oracle_operation(PAPER_PI, synth=synth)
+            operation = permutation_oracle_operation(
+                PAPER_PI, synth=synth,
+                pipeline=Pipeline(cache=None, verify=True),
+            )
             parsed = parse_operation_body(
                 operation.code, operation.circuit.num_qubits
             )

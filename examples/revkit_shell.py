@@ -8,9 +8,15 @@ plus a comparison of the available synthesis commands on the same
 function, both via the shell syntax and the Python API
 (``shell.revgen(hwb=4)``).
 
+The shell dispatches every command through the pass manager
+(``repro.pipeline``), so the session also prints the per-pass
+timing/delta report and demonstrates the equivalent declarative
+preset, ``flows.EQ5``.
+
 Run:  python examples/revkit_shell.py
 """
 
+from repro.pipeline import Pipeline, flows
 from repro.revkit import RevKitShell
 
 
@@ -22,6 +28,26 @@ def main():
         shell.run("revgen --hwb 4; tbs; revsimp; rptm; tpar; ps -c"),
     ):
         print(f"[{command}] {output}")
+
+    print("\nper-pass report (shell.report()):")
+    for line in shell.report().splitlines():
+        print("  " + line)
+
+    print("\nsame flow as a declarative preset (flows.EQ5):")
+    result = flows.EQ5.run(pipeline=Pipeline(cache=None))
+    for line in result.report().splitlines():
+        print("  " + line)
+    assert result.quantum.gates == shell.quantum.gates
+    print(f"  -> identical to the shell run, gate for gate "
+          f"({len(result.quantum)} gates)")
+
+    print("\nparameterized sweep via flows.eq5(...):")
+    for options in ({"hwb": 4}, {"gray": 4}, {"adder": 4, "const": 3}):
+        res = flows.eq5(**options).run()
+        tpar = res.record("tpar")
+        label = ",".join(f"{k}={v}" for k, v in options.items())
+        print(f"  eq5({label:<16}) MCT={len(res.reversible):2d}  "
+              f"T {tpar.before['t_count']:3d} -> {tpar.after['t_count']:3d}")
 
     print("\nsynthesis command comparison on hwb4 (python API):")
     for label, build in (

@@ -11,7 +11,10 @@ library, showing the trade-offs the paper surveys:
   * embedding an irreversible function explicitly (Eq. (2) vs Eq. (3)).
 
 Every result is verified by simulation and finally mapped to
-Clifford+T with and without relative-phase Toffolis.
+Clifford+T with and without relative-phase Toffolis.  The closing
+section runs the same portfolio through the pass manager's preset
+flows (``repro.pipeline``) with fail-fast verification on, printing
+the per-pass statistics report.
 
 Run:  python examples/synthesis_tour.py
 """
@@ -109,8 +112,33 @@ def mapping_demo():
         )
 
 
+def pipeline_demo():
+    print("\n== the same flow as pass-manager presets (repro.pipeline) ==")
+    from repro.pipeline import FlowState, Pipeline, flows
+
+    perm = BitPermutation([0, 2, 3, 5, 7, 1, 4, 6])
+    print("  flows.QSHARP on pi, verify=True (per-pass report):")
+    result = flows.QSHARP.run(
+        FlowState(function=perm), pipeline=Pipeline(cache=None, verify=True)
+    )
+    for line in result.report().splitlines():
+        print("    " + line)
+
+    print("  synthesis back-ends through the same preset:")
+    for method in ("tbs", "tbs-bidir", "dbs", "exact"):
+        res = flows.qsharp(synth=method).run(
+            FlowState(function=perm), pipeline=Pipeline(cache=None)
+        )
+        print(
+            f"    {method:<9} MCT={len(res.reversible):2d}  "
+            f"gates={len(res.quantum):3d}  T={res.quantum.t_count():2d}  "
+            f"({res.total_seconds * 1e3:.2f}ms)"
+        )
+
+
 if __name__ == "__main__":
     reversible_portfolio()
     irreversible_portfolio()
     embedding_demo()
     mapping_demo()
+    pipeline_demo()

@@ -20,6 +20,10 @@ Subpackages
     relative-phase Toffolis).
 ``repro.optimization``
     revsimp gate cancellation and T-par phase folding.
+``repro.pipeline``
+    The pass manager: a unified compilation pipeline with per-pass
+    statistics, result caching, verification, and the paper's flow
+    presets (``flows.EQ5``, ``flows.QSHARP``, ``flows.DEVICE``).
 ``repro.frameworks``
     ProjectQ-compatible eDSL and Q# code generation.
 ``repro.revkit``
@@ -38,6 +42,7 @@ from . import (
     core,
     mapping,
     optimization,
+    pipeline,
     revkit,
     simulator,
     synthesis,
@@ -50,6 +55,7 @@ __all__ = [
     "core",
     "mapping",
     "optimization",
+    "pipeline",
     "revkit",
     "simulator",
     "synthesis",

@@ -36,6 +36,15 @@ class BernsteinVaziraniResult:
 
 
 def bernstein_vazirani_circuit(table: TruthTable) -> QuantumCircuit:
+    """Build the Bernstein–Vazirani circuit for a (linear) oracle.
+
+    Args:
+        table: the oracle truth table; for f(x) = s.x the measured
+            bitstring is the hidden string ``s``.
+
+    Returns:
+        The H — phase-oracle — H circuit with final measurements.
+    """
     n = table.num_vars
     circuit = QuantumCircuit(n, n, name="bernstein-vazirani")
     for q in range(n):

@@ -46,6 +46,16 @@ def optimal_iterations(num_vars: int, num_solutions: int) -> int:
 def grover_circuit(
     table: TruthTable, iterations: Optional[int] = None
 ) -> QuantumCircuit:
+    """Build the Grover search circuit for a truth-table oracle.
+
+    Args:
+        table: marks the solutions (f(x) = 1).
+        iterations: Grover iteration count; the amplitude-optimal
+            count for the table's solution density when omitted.
+
+    Returns:
+        The prepared circuit with final measurements on all qubits.
+    """
     n = table.num_vars
     if iterations is None:
         iterations = optimal_iterations(n, max(table.count_ones(), 1))

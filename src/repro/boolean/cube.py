@@ -137,6 +137,7 @@ def esop_to_truth_table(cubes: Iterable[Cube], num_vars: int) -> TruthTable:
 
 
 def esop_evaluate(cubes: Iterable[Cube], x: int) -> int:
+    """Evaluate an ESOP (XOR of cubes) on the input assignment ``x``."""
     value = 0
     for cube in cubes:
         value ^= cube.evaluate(x)

@@ -8,8 +8,11 @@ replicates that: circuits emitted by :class:`MainEngine` pass through
     T-par phase folding -> cancellation -> device routing
 
 before reaching the actual execution backend, so the user's program is
-automatically legal for a constrained chip.  Compilation statistics of
-the last flush are kept for inspection.
+automatically legal for a constrained chip.  The chain is the
+:func:`repro.pipeline.flows.device` preset executed on the pass
+manager, so repeated flushes of identical circuits replay cached pass
+results.  Compilation statistics of the last flush are kept for
+inspection.
 """
 
 from __future__ import annotations
@@ -19,10 +22,8 @@ from typing import Dict, Optional
 
 from ...core.circuit import QuantumCircuit
 from ...core.statistics import CircuitStatistics, circuit_statistics
-from ...mapping.barenco import map_to_clifford_t
-from ...mapping.routing import CouplingMap, RoutingResult, route_circuit
-from ...optimization.simplify import cancel_adjacent_gates
-from ...optimization.tpar import tpar_optimize
+from ...mapping.routing import CouplingMap, RoutingResult
+from ...pipeline import FlowState, Pipeline, flows
 from .backends import Backend, Simulator
 
 
@@ -65,10 +66,12 @@ class CompilerBackend(Backend):
         target: Optional[Backend] = None,
         coupling: Optional[CouplingMap] = None,
         optimize: bool = True,
+        pipeline: Optional[Pipeline] = None,
     ):
         self.target = target if target is not None else Simulator()
         self.coupling = coupling
         self.optimize = optimize
+        self.pipeline = pipeline if pipeline is not None else Pipeline()
         self.report: Optional[CompilationReport] = None
         self.compiled_circuit: Optional[QuantumCircuit] = None
         self.routing: Optional[RoutingResult] = None
@@ -84,25 +87,18 @@ class CompilerBackend(Backend):
         return outcome
 
     def compile(self, circuit: QuantumCircuit) -> QuantumCircuit:
-        """Run the chain and record the report."""
-        source_stats = circuit_statistics(circuit)
-        work = cancel_adjacent_gates(circuit)
-        if any(g.name in ("ccx", "ccz", "mcx", "mcz", "cz") for g in work):
-            work = map_to_clifford_t(work)
-        if self.optimize:
-            work = cancel_adjacent_gates(tpar_optimize(work))
-        self.routing = None
-        swaps = 0
-        if self.coupling is not None:
-            routed = route_circuit(work, self.coupling)
-            self.routing = routed
-            work = routed.circuit
-            swaps = routed.swap_count
+        """Run the device flow through the pass manager and report."""
+        flow = flows.device(coupling=self.coupling, optimize=self.optimize)
+        result = flow.run(
+            FlowState(quantum=circuit), pipeline=self.pipeline
+        )
+        work = result.quantum
+        self.routing = result.routing
         self.compiled_circuit = work
         self.report = CompilationReport(
-            source_stats=source_stats,
+            source_stats=circuit_statistics(circuit),
             compiled_stats=circuit_statistics(work),
-            swap_count=swaps,
+            swap_count=self.routing.swap_count if self.routing else 0,
             routed=self.coupling is not None,
         )
         return work

@@ -24,10 +24,8 @@ from typing import Callable, List, Optional, Sequence, Union
 
 from ..boolean.permutation import BitPermutation
 from ..core.circuit import QuantumCircuit
-from ..mapping.barenco import map_to_clifford_t
-from ..optimization.simplify import cancel_adjacent_gates, simplify_reversible
+from ..pipeline import FlowState, Pipeline, flows
 from ..synthesis.reversible import ReversibleCircuit
-from ..synthesis.transformation import transformation_based_synthesis
 
 _QSHARP_NAMES = {
     "h": "H",
@@ -99,20 +97,34 @@ def permutation_oracle_operation(
     permutation: Union[BitPermutation, Sequence[int]],
     synth: Optional[Callable[[BitPermutation], ReversibleCircuit]] = None,
     name: str = "PermutationOracle",
+    pipeline: Optional[Pipeline] = None,
 ) -> QSharpOperation:
     """RevKit-as-preprocessor: synthesize ``pi`` and emit Q# (Fig. 10).
 
-    Pipeline: chosen synthesis (default transformation-based [43]),
-    ``revsimp``, Clifford+T mapping [42], gate cancellation — then Q#
-    text generation.
+    Runs the :data:`repro.pipeline.flows.QSHARP` preset — chosen
+    synthesis (default transformation-based [43]), ``revsimp``,
+    Clifford+T mapping [42], gate cancellation — then generates the Q#
+    text from the compiled circuit.  Repeated calls for the same
+    permutation replay the pass manager's cached results.
+
+    Args:
+        permutation: the oracle permutation ``pi``.
+        synth: synthesis back-end (name or callable); paper default is
+            transformation-based synthesis.
+        name: Q# operation name to emit.
+        pipeline: pass-manager runner to execute on (fresh one with
+            the shared cache by default).
+
+    Returns:
+        The generated operation with its executable circuit attached.
     """
     if not isinstance(permutation, BitPermutation):
         permutation = BitPermutation(list(permutation))
-    synthesize = synth if synth is not None else transformation_based_synthesis
-    reversible = simplify_reversible(synthesize(permutation))
-    mapped = map_to_clifford_t(reversible)
-    mapped = cancel_adjacent_gates(mapped)
-    return operation_from_circuit(name, mapped)
+    flow = flows.qsharp(synth=synth)
+    result = flow.run(
+        FlowState(function=permutation), pipeline=pipeline
+    )
+    return operation_from_circuit(name, result.quantum)
 
 
 def hidden_shift_program(

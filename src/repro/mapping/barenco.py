@@ -124,6 +124,22 @@ def map_to_clifford_t(
     (or when widening is forbidden) idle circuit lines are borrowed as
     dirty ancillae instead (V-chain, 4(k-2) full Toffolis).  The output
     satisfies :meth:`QuantumCircuit.is_clifford_t`.
+
+    This is the shell's ``rptm`` command and the pass manager's
+    :class:`~repro.pipeline.MapToCliffordTPass`.
+
+    Args:
+        circuit: the MCT cascade or multi-controlled-gate circuit.
+        relative_phase: use RCCX ladder Toffolis (paper's rptm [42]).
+        allow_extra_lines: permit widening the register with clean
+            ancillae; raise :class:`MappingError` when mapping is
+            impossible without them.
+        prefer_clean: prefer clean widening over borrowing idle lines
+            as dirty ancillae.
+
+    Returns:
+        A pure Clifford+T circuit acting as ``|x>|0> ->
+        e^{i phi(x)}|P(x)>|0>`` on the original lines.
     """
     if isinstance(circuit, ReversibleCircuit):
         source = circuit.to_quantum_circuit()

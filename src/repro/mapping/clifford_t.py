@@ -42,6 +42,16 @@ def ccz_clifford_t(c1: int, c2: int, target: int, num_qubits: int) -> QuantumCir
 
 
 def cz_from_cx(control: int, target: int, num_qubits: int) -> QuantumCircuit:
+    """Return CZ as H-CNOT-H on ``num_qubits`` wires.
+
+    Args:
+        control: control qubit index.
+        target: target qubit index (conjugated by Hadamards).
+        num_qubits: width of the returned circuit.
+
+    Returns:
+        A 3-gate :class:`~repro.core.circuit.QuantumCircuit`.
+    """
     circ = QuantumCircuit(num_qubits, name="cz")
     circ.h(target)
     circ.cx(control, target)
@@ -50,6 +60,16 @@ def cz_from_cx(control: int, target: int, num_qubits: int) -> QuantumCircuit:
 
 
 def swap_from_cx(a: int, b: int, num_qubits: int) -> QuantumCircuit:
+    """Return SWAP(a, b) as three CNOTs on ``num_qubits`` wires.
+
+    Args:
+        a: first qubit index.
+        b: second qubit index.
+        num_qubits: width of the returned circuit.
+
+    Returns:
+        A 3-CNOT :class:`~repro.core.circuit.QuantumCircuit`.
+    """
     circ = QuantumCircuit(num_qubits, name="swap")
     circ.cx(a, b)
     circ.cx(b, a)

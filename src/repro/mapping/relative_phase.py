@@ -32,4 +32,15 @@ def rccx(c1: int, c2: int, target: int, num_qubits: int) -> QuantumCircuit:
 
 
 def rccx_dagger(c1: int, c2: int, target: int, num_qubits: int) -> QuantumCircuit:
+    """Return the adjoint of :func:`rccx` (uncomputes it exactly).
+
+    Args:
+        c1: first control qubit index.
+        c2: second control qubit index.
+        target: target qubit index.
+        num_qubits: width of the returned circuit.
+
+    Returns:
+        The 4-T relative-phase Toffoli, reversed and conjugated.
+    """
     return rccx(c1, c2, target, num_qubits).dagger()

@@ -164,6 +164,16 @@ def route_circuit(
     routable; run the Clifford+T mapping first.  When a two-qubit gate
     spans non-adjacent physical qubits, SWAPs walk one operand along a
     shortest path until they meet.
+
+    Args:
+        circuit: the (already lowered) circuit to place.
+        coupling: the device connectivity graph.
+        initial_layout: optional logical-to-physical starting layout;
+            identity by default.
+
+    Returns:
+        A :class:`RoutingResult` with the legal circuit, the SWAP
+        count and the initial/final layouts.
     """
     if circuit.num_qubits > coupling.num_qubits:
         raise RoutingError(

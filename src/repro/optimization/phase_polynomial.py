@@ -39,6 +39,11 @@ STEP_GATES = {
 
 
 def is_region_gate(gate: Gate) -> bool:
+    """Return whether ``gate`` belongs in a phase-polynomial region.
+
+    Regions are maximal {CNOT, X, SWAP, phase} blocks; anything else
+    (Hadamard, measurement, ...) terminates the region.
+    """
     if gate.name in LINEAR_GATES or gate.name in PHASE_STEPS:
         return True
     return gate.name in ("rz", "p") and not gate.controls

@@ -55,7 +55,20 @@ def _absorb_not(not_gate: MctGate, gate: MctGate) -> Optional[MctGate]:
 def simplify_reversible(
     circuit: ReversibleCircuit, max_rounds: int = 10
 ) -> ReversibleCircuit:
-    """Cancel/merge MCT gates; preserves the circuit's permutation."""
+    """Cancel/merge MCT gates; preserves the circuit's permutation.
+
+    This is the shell's ``revsimp`` command: equal gates that can
+    reach each other through commuting neighbors cancel pairwise, and
+    X-g-X sandwiches absorb into a polarity flip of g.
+
+    Args:
+        circuit: the MCT cascade to simplify.
+        max_rounds: fixpoint iteration bound.
+
+    Returns:
+        A new cascade realizing the same permutation with at most as
+        many gates.
+    """
     gates = list(circuit.gates)
 
     def cancel_once() -> bool:
@@ -134,7 +147,17 @@ def _gates_commute(a: Gate, b: Gate) -> bool:
 def cancel_adjacent_gates(
     circuit: QuantumCircuit, max_rounds: int = 10
 ) -> QuantumCircuit:
-    """Inverse-pair cancellation + rotation merging to a fixpoint."""
+    """Cancel inverse pairs and merge rotations to a fixpoint.
+
+    Args:
+        circuit: the quantum circuit to clean up.
+        max_rounds: fixpoint iteration bound.
+
+    Returns:
+        A new, unitary-equivalent circuit with at most as many gates
+        (identity gates dropped, adjacent inverses removed, adjacent
+        same-axis rotations merged).
+    """
     # stack-based pass: each incoming gate scans backwards over
     # committed gates, skipping qubit-disjoint ones, until it finds an
     # inverse partner (cancel), a mergeable rotation (merge), or a

@@ -60,7 +60,16 @@ def _merge_pair(a: MctGate, b: MctGate) -> Optional[MctGate]:
 def template_optimize(
     circuit: ReversibleCircuit, max_rounds: int = 20
 ) -> ReversibleCircuit:
-    """Apply the template rules to a fixpoint."""
+    """Apply the template rewriting rules to a fixpoint.
+
+    Args:
+        circuit: the MCT cascade to rewrite.
+        max_rounds: fixpoint iteration bound.
+
+    Returns:
+        A new cascade realizing the same permutation, never larger
+        than the input.
+    """
     gates = list(circuit.gates)
     for _ in range(max_rounds):
         changed = (

@@ -28,7 +28,17 @@ from .phase_polynomial import (
 
 
 def tpar_optimize(circuit: QuantumCircuit) -> QuantumCircuit:
-    """Phase-fold every CNOT+phase region of ``circuit``."""
+    """Phase-fold every CNOT+phase region of ``circuit``.
+
+    This is the shell's ``tpar`` command (the T-par core [69]).
+
+    Args:
+        circuit: the Clifford+T (or phase-gate-bearing) circuit.
+
+    Returns:
+        A new circuit, unitary-equivalent up to global phase, whose
+        T-count never exceeds the input's.
+    """
     out = QuantumCircuit(
         circuit.num_qubits, circuit.num_clbits, circuit.name + "_tpar"
     )

@@ -1,0 +1,81 @@
+"""Unified compilation pipeline — the pass manager.
+
+The paper's artifact is a *compilation flow* (Sec. VI, Eq. (5)):
+specification generation, reversible synthesis, cascade
+simplification, Clifford+T mapping, T-count optimization, device
+routing.  This subsystem makes that flow a first-class object:
+
+* :class:`~.passes.Pass` — one step, wrapping an existing entry point
+  (``transformation_based_synthesis``, ``simplify_reversible``,
+  ``map_to_clifford_t``, ``tpar_optimize``, ``route_circuit``, ...);
+* :class:`~.runner.Pipeline` — the runner: per-pass timing,
+  gate-count/T-count deltas, fail-fast functional verification behind
+  a flag, and a content-keyed result cache so repeated flows skip
+  recomputation;
+* :mod:`~.flows` — declarative presets (:data:`~.flows.EQ5`,
+  :data:`~.flows.QSHARP`, :data:`~.flows.DEVICE`) mirroring the
+  paper's pipelines.
+
+The RevKit shell, the Q#/ProjectQ framework flows and the paper-flow
+benchmarks all dispatch through this package.
+"""
+
+from . import flows
+from .cache import PassCache, shared_cache
+from .flows import DEVICE, EQ5, QSHARP, Flow, device, eq5, qsharp
+from .passes import (
+    GENERATOR_KINDS,
+    CancelPass,
+    GeneratePass,
+    MapToCliffordTPass,
+    Pass,
+    RoutePass,
+    SimplifyPass,
+    StatisticsPass,
+    SynthesisPass,
+    TemplatePass,
+    TparPass,
+)
+from .runner import (
+    PassRecord,
+    Pipeline,
+    PipelineResult,
+    VerificationError,
+    format_records,
+    state_metrics,
+)
+from .state import FlowState, PipelineError, state_key, state_token
+
+__all__ = [
+    "flows",
+    "PassCache",
+    "shared_cache",
+    "DEVICE",
+    "EQ5",
+    "QSHARP",
+    "Flow",
+    "device",
+    "eq5",
+    "qsharp",
+    "GENERATOR_KINDS",
+    "CancelPass",
+    "GeneratePass",
+    "MapToCliffordTPass",
+    "Pass",
+    "RoutePass",
+    "SimplifyPass",
+    "StatisticsPass",
+    "SynthesisPass",
+    "TemplatePass",
+    "TparPass",
+    "PassRecord",
+    "Pipeline",
+    "PipelineResult",
+    "VerificationError",
+    "format_records",
+    "state_metrics",
+    "FlowState",
+    "PipelineError",
+    "state_key",
+    "state_token",
+]

@@ -1,0 +1,148 @@
+"""Content-keyed pass-result cache.
+
+Repeated flows — parameter sweeps, shell re-runs, regenerating the
+same Q# oracle — re-execute identical (pass, input) pairs.  The cache
+keys each pass result by the pass name, its parameter signature, and a
+content fingerprint of the store fields it reads
+(:func:`~.state.state_key`), so a second identical invocation replays
+the stored outputs instead of recomputing them.
+
+Values are defensively copied on both insert and lookup: callers may
+mutate circuits they receive (the shell does), and that must never
+corrupt cached entries.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.circuit import QuantumCircuit
+from ..synthesis.reversible import ReversibleCircuit
+
+#: Default number of entries a cache retains (LRU eviction).
+DEFAULT_MAXSIZE = 512
+
+
+def _copy_value(value: Any) -> Any:
+    """Return a safe copy of one cached store value.
+
+    Circuits use their cheap ``copy`` (gate objects are immutable);
+    everything else is deep-copied.
+    """
+    if isinstance(value, (QuantumCircuit, ReversibleCircuit)):
+        return value.copy()
+    if value is None or isinstance(value, (int, float, str, bool, tuple)):
+        return value
+    return copy.deepcopy(value)
+
+
+class PassCache:
+    """LRU cache mapping content keys to pass outputs.
+
+    Args:
+        maxsize: entry cap; the least recently used entry is evicted
+            first.  ``None`` disables eviction.
+    """
+
+    def __init__(self, maxsize: Optional[int] = DEFAULT_MAXSIZE) -> None:
+        """Create an empty cache with the given capacity."""
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: (
+            "OrderedDict[str, Tuple[Dict[str, Any], Dict[str, Any], bool]]"
+        )
+        self._entries = OrderedDict()
+
+    def __len__(self) -> int:
+        """Return the number of stored entries."""
+        return len(self._entries)
+
+    def get(
+        self, key: str
+    ) -> Optional[Tuple[Dict[str, Any], Dict[str, Any], bool]]:
+        """Look up ``key`` and return ``(outputs, details, verified)``.
+
+        Args:
+            key: content key built by the pipeline.
+
+        Returns:
+            A fresh copy of the stored output fields, the recorded
+            pass statistics, and whether the entry has already passed
+            functional verification — or ``None`` on a miss.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        outputs, details, verified = entry
+        return (
+            {name: _copy_value(value) for name, value in outputs.items()},
+            dict(details),
+            verified,
+        )
+
+    def put(
+        self,
+        key: str,
+        outputs: Dict[str, Any],
+        details: Dict[str, Any],
+        verified: bool = False,
+    ) -> None:
+        """Store pass outputs under ``key``.
+
+        Args:
+            key: content key built by the pipeline.
+            outputs: store-field values the pass wrote.
+            details: the pass's statistics dict for replayed records.
+            verified: whether the outputs passed functional
+                verification before being stored.
+        """
+        self._entries[key] = (
+            {name: _copy_value(value) for name, value in outputs.items()},
+            dict(details),
+            verified,
+        )
+        self._entries.move_to_end(key)
+        if self.maxsize is not None:
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def mark_verified(self, key: str) -> None:
+        """Flag an existing entry as functionally verified."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries[key] = (entry[0], entry[1], True)
+
+    def drop(self, key: str) -> None:
+        """Remove one entry (e.g. after it failed verification)."""
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Return ``{"entries", "hits", "misses"}`` counters."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+_SHARED: Optional[PassCache] = None
+
+
+def shared_cache() -> PassCache:
+    """Return the process-wide cache shared by default pipelines."""
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = PassCache()
+    return _SHARED

@@ -1,0 +1,209 @@
+"""Declarative flow presets mirroring the paper's pipelines.
+
+Three preset flows cover the paper's three tool stories:
+
+* :data:`EQ5` — the RevKit command script of Sec. VI, Eq. (5)
+  (``revgen --hwb 4; tbs; revsimp; rptm; tpar; ps -c``);
+* :data:`QSHARP` — the RevKit-as-preprocessor pipeline behind the Q#
+  oracle of Sec. VIII, Fig. 10 (synthesize, simplify, map to
+  Clifford+T, cancel) — code emission happens on the result;
+* :data:`DEVICE` — the device flow of Sec. VII: cancellation, on-need
+  Clifford+T lowering, T-par, and routing onto the paper's 5-qubit
+  IBM QE chip.
+
+Each preset is a :class:`Flow`: a named, immutable pass sequence.
+The builder functions (:func:`eq5`, :func:`qsharp`, :func:`device`)
+parameterize the same shapes for sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from ..mapping.routing import CouplingMap
+from .passes import (
+    GENERATOR_KINDS,
+    CancelPass,
+    GeneratePass,
+    MapToCliffordTPass,
+    Pass,
+    RoutePass,
+    SimplifyPass,
+    StatisticsPass,
+    SynthesisPass,
+    TparPass,
+)
+from .runner import Pipeline, PipelineResult
+from .state import FlowState, PipelineError
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A named, immutable sequence of passes.
+
+    Attributes:
+        name: preset identifier (``eq5``, ``qsharp``, ``device``).
+        description: one-line summary shown in reports.
+        passes: the pass sequence, first to last.
+    """
+
+    name: str
+    description: str
+    passes: Tuple[Pass, ...]
+
+    def run(
+        self,
+        state: Optional[FlowState] = None,
+        pipeline: Optional[Pipeline] = None,
+        **pipeline_options,
+    ) -> PipelineResult:
+        """Execute the flow and return the pipeline result.
+
+        Args:
+            state: initial store (fresh and empty by default).
+            pipeline: runner to execute on; a new one is created from
+                ``pipeline_options`` (``verify=``, ``cache=``) when
+                omitted.
+            **pipeline_options: forwarded to :class:`~.runner.Pipeline`;
+                mutually exclusive with ``pipeline`` (the explicit
+                runner already carries its own configuration).
+
+        Returns:
+            The :class:`~.runner.PipelineResult` of this execution.
+
+        Raises:
+            PipelineError: when both ``pipeline`` and
+                ``pipeline_options`` are given.
+        """
+        if pipeline is not None and pipeline_options:
+            raise PipelineError(
+                "pass either pipeline= or pipeline options "
+                f"({', '.join(sorted(pipeline_options))}), not both"
+            )
+        runner = pipeline if pipeline is not None else Pipeline(**pipeline_options)
+        return runner.run(self.passes, state)
+
+    def __str__(self) -> str:
+        """Return ``name: pass1 -> pass2 -> ...``."""
+        chain = " -> ".join(p.name for p in self.passes)
+        return f"{self.name}: {chain}"
+
+
+def _generate_pass(options) -> GeneratePass:
+    """Translate revgen-style keyword options into a GeneratePass.
+
+    Exactly one generator-family key (``hwb=4``, ``adder=4``, ...)
+    selects kind and size; the rest (``seed``, ``const``, ``amount``)
+    are family options.
+    """
+    kinds = [k for k in options if k in GENERATOR_KINDS]
+    if len(kinds) != 1:
+        raise PipelineError(
+            f"need exactly one generator family out of {GENERATOR_KINDS}"
+        )
+    kind = kinds[0]
+    n = options.pop(kind)
+    return GeneratePass(kind, n, **options)
+
+
+def eq5(synthesis: str = "tbs", **revgen_options) -> Flow:
+    """Build the Eq. (5) RevKit flow for any benchmark function.
+
+    Args:
+        synthesis: synthesis method name for the ``tbs`` stage.
+        **revgen_options: revgen-style generator selection (defaults
+            to ``hwb=4``, the paper's instance).
+
+    Returns:
+        A :class:`Flow` equivalent to
+        ``revgen ...; tbs; revsimp; rptm; tpar; ps -c``.
+    """
+    if not revgen_options:
+        revgen_options = {"hwb": 4}
+    label = ",".join(f"{k}={v}" for k, v in sorted(revgen_options.items()))
+    if synthesis != "tbs":
+        label += f",synthesis={synthesis}"
+    return Flow(
+        name=f"eq5({label})",
+        description="Sec. VI Eq. (5): revgen; tbs; revsimp; rptm; tpar; ps -c",
+        passes=(
+            _generate_pass(dict(revgen_options)),
+            SynthesisPass(synthesis),
+            SimplifyPass(),
+            MapToCliffordTPass(relative_phase=True),
+            TparPass(pre_cancel=True, post_cancel=True),
+            StatisticsPass(),
+        ),
+    )
+
+
+def qsharp(synth=None, relative_phase: bool = True) -> Flow:
+    """Build the RevKit-as-preprocessor flow behind Fig. 10.
+
+    The flow compiles a permutation specification into the cancelled
+    Clifford+T circuit that
+    :func:`repro.frameworks.qsharp.permutation_oracle_operation` then
+    emits as Q# source.
+
+    Args:
+        synth: synthesis method name or callable (default ``tbs``,
+            the paper's choice for the running example).
+        relative_phase: use relative-phase Toffolis in the mapping.
+
+    Returns:
+        A :class:`Flow` over an initial state carrying the
+        permutation in ``function``.
+    """
+    return Flow(
+        name="qsharp",
+        description="Sec. VIII Fig. 10: synthesize; revsimp; rptm; cancel",
+        passes=(
+            SynthesisPass(synth if synth is not None else "tbs"),
+            SimplifyPass(),
+            MapToCliffordTPass(relative_phase=relative_phase),
+            CancelPass(),
+        ),
+    )
+
+
+def device(
+    coupling: Optional[CouplingMap] = None,
+    optimize: bool = True,
+    initial_layout: Optional[Tuple[int, ...]] = None,
+) -> Flow:
+    """Build the device-targeting flow of Sec. VII.
+
+    Args:
+        coupling: device topology to route onto; ``None`` compiles
+            for an all-to-all device (no routing pass).
+        optimize: include the T-par + cancellation stage.
+        initial_layout: optional logical-to-physical seed layout.
+
+    Returns:
+        A :class:`Flow` over an initial state carrying the circuit in
+        ``quantum``.
+    """
+    passes: Tuple[Pass, ...] = (
+        CancelPass(),
+        MapToCliffordTPass(relative_phase=True, only_if_needed=True),
+    )
+    if optimize:
+        passes = passes + (TparPass(pre_cancel=False, post_cancel=True),)
+    if coupling is not None:
+        passes = passes + (RoutePass(coupling, initial_layout=initial_layout),)
+    return Flow(
+        name="device",
+        description="Sec. VII: cancel; lower to Clifford+T; tpar; route",
+        passes=passes,
+    )
+
+
+#: The paper's Eq. (5) pipeline on the hwb4 instance.
+EQ5 = eq5()
+
+#: The Fig. 10 Q# oracle preprocessing pipeline (tbs backend).
+QSHARP = qsharp()
+
+#: The Sec. VII device flow onto the paper's IBM QE bowtie chip.
+DEVICE = device(CouplingMap.ibm_qx2())

@@ -1,0 +1,659 @@
+"""Concrete passes wrapping the library's compilation entry points.
+
+Each pass adapts one existing entry point — specification generation
+(``revgen``), reversible synthesis (``tbs``/``dbs``/``esopbs``/...),
+cascade simplification (``revsimp``/``templ``), Clifford+T mapping
+(``rptm``), quantum-gate cancellation and T-par phase folding, device
+routing, and statistics — to the uniform :class:`Pass` interface the
+:class:`~.runner.Pipeline` executes.  Passes are stateless value
+objects: constructor arguments select the algorithm variant, and
+:meth:`Pass.signature` exposes them so cached results can be keyed by
+(pass, parameters, input content).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..boolean.permutation import BitPermutation
+from ..boolean.truth_table import TruthTable
+from ..core.statistics import circuit_statistics
+from ..mapping.barenco import map_to_clifford_t
+from ..mapping.routing import CouplingMap, route_circuit, verify_routing
+from ..optimization.simplify import cancel_adjacent_gates, simplify_reversible
+from ..optimization.templates import template_optimize
+from ..optimization.tpar import tpar_optimize
+from ..synthesis.bdd_based import bdd_synthesis, verify_bdd_synthesis
+from ..synthesis.decomposition import decomposition_based_synthesis
+from ..synthesis.esop_based import esop_synthesis, verify_esop_circuit
+from ..synthesis.exact import exact_synthesis
+from ..synthesis.transformation import (
+    bidirectional_synthesis,
+    transformation_based_synthesis,
+)
+from . import verification
+from .state import FlowState, PipelineError
+
+
+class Pass:
+    """One step of a compilation flow.
+
+    Subclasses set :attr:`name` (the RevKit-style command name),
+    :attr:`stage` (coarse flow phase), :attr:`reads`/:attr:`writes`
+    (store fields consumed/produced — the cache keys on the content of
+    ``reads``), and implement :meth:`run`.
+
+    Attributes:
+        name: short command-style identifier (``tbs``, ``rptm``, ...).
+        stage: flow phase — ``generate``, ``synthesis``,
+            ``optimization``, ``mapping``, ``routing`` or ``analysis``.
+        reads: store fields whose content determines the result.
+        writes: store fields the pass replaces.
+        cacheable: whether ``(name, signature())`` faithfully
+            identifies the computation; passes wrapping opaque
+            callables must clear this to opt out of result caching.
+    """
+
+    name: str = "pass"
+    stage: str = "transform"
+    reads: Tuple[str, ...] = ()
+    writes: Tuple[str, ...] = ()
+    cacheable: bool = True
+
+    def run(self, state: FlowState) -> FlowState:
+        """Execute the pass on a copy of ``state`` and return it.
+
+        Args:
+            state: the incoming flow store (never mutated).
+
+        Returns:
+            A new :class:`~.state.FlowState` with ``writes`` updated.
+        """
+        raise NotImplementedError
+
+    def signature(self) -> Tuple[Any, ...]:
+        """Return the parameter tuple that identifies this variant.
+
+        Two pass instances with equal ``(name, signature())`` must
+        compute the same function of their ``reads`` fields; the
+        result cache relies on this.
+        """
+        return ()
+
+    def verify(self, before: FlowState, after: FlowState) -> Optional[str]:
+        """Check that the pass preserved the flow's semantics.
+
+        Args:
+            before: store content entering the pass.
+            after: store content the pass produced.
+
+        Returns:
+            ``None`` on success (or when no check applies), else a
+            human-readable failure message.
+        """
+        return None
+
+    def statistics(self, before: FlowState, after: FlowState) -> Dict[str, Any]:
+        """Report pass-specific statistics for the flow record.
+
+        Args:
+            before: store content entering the pass.
+            after: store content the pass produced.
+
+        Returns:
+            A dict of extra metrics merged into the pass record.
+        """
+        return {}
+
+    def __repr__(self) -> str:
+        """Return ``Name(param=value, ...)`` for debugging."""
+        params = ", ".join(repr(v) for v in self.signature())
+        return f"{type(self).__name__}({params})"
+
+
+# ----------------------------------------------------------------------
+# specification generation (revgen)
+# ----------------------------------------------------------------------
+#: generator family -> function name in :mod:`repro.revkit.generators`
+#: (imported lazily inside :meth:`GeneratePass.run`; importing the
+#: ``revkit`` package here would be circular, since its shell builds on
+#: this pass manager).
+_GENERATORS: Dict[str, str] = {
+    "hwb": "hwb",
+    "random": "random_permutation",
+    "adder": "modular_adder",
+    "rotate": "bit_rotation",
+    "gray": "gray_code",
+    "bent": "inner_product_bent",
+    "randfunc": "random_function",
+}
+
+#: public registry of generator families, in shell option order — the
+#: single source the shell's ``revgen`` and the flow builders consult.
+GENERATOR_KINDS = tuple(_GENERATORS)
+
+#: shell option spelling -> generator keyword argument.
+_GENERATOR_KWARGS = {"const": "constant"}
+
+#: defaults applied when an option is omitted, mirroring the shell's
+#: historical behavior (a fixed seed keeps passes deterministic and
+#: therefore cacheable).
+_GENERATOR_DEFAULTS = {
+    "random": {"seed": 0},
+    "randfunc": {"seed": 0},
+    "adder": {"constant": 1},
+}
+
+#: options each generator family accepts; anything else is silently
+#: dropped, matching the shell's historical tolerance of irrelevant
+#: options (``revgen --hwb 4 --seed 3`` ignored the seed).
+_GENERATOR_OPTIONS = {
+    "hwb": (),
+    "random": ("seed",),
+    "adder": ("constant",),
+    "rotate": ("amount",),
+    "gray": (),
+    "bent": (),
+    "randfunc": ("seed",),
+}
+
+
+class GeneratePass(Pass):
+    """Produce a benchmark specification — the ``revgen`` command.
+
+    Args:
+        kind: generator family (``hwb``, ``random``, ``adder``,
+            ``rotate``, ``gray``, ``bent``, ``randfunc``).
+        n: problem size in bits/variables.
+        **params: family-specific options (``seed``, ``const``,
+            ``amount``); options irrelevant to the family are
+            ignored, matching the shell's historical tolerance.
+    """
+
+    stage = "generate"
+    reads = ()
+    writes = ("function",)
+
+    def __init__(self, kind: str, n: int, **params) -> None:
+        """Select the generator family, size and options."""
+        if kind not in _GENERATORS:
+            raise PipelineError(f"unknown generator {kind!r}")
+        self.name = f"revgen-{kind}"
+        self.kind = kind
+        self.n = int(n)
+        accepted = _GENERATOR_OPTIONS[kind]
+        merged = dict(_GENERATOR_DEFAULTS.get(kind, {}))
+        for key, value in params.items():
+            key = _GENERATOR_KWARGS.get(key, key)
+            if key in accepted:
+                merged[key] = int(value)
+        self.params = dict(sorted(merged.items()))
+
+    def signature(self) -> Tuple[Any, ...]:
+        """Return (kind, n, sorted options)."""
+        return (self.kind, self.n, tuple(self.params.items()))
+
+    def run(self, state: FlowState) -> FlowState:
+        """Write the generated specification into ``function``."""
+        from ..revkit import generators
+
+        out = state.copy()
+        generate = getattr(generators, _GENERATORS[self.kind])
+        out.function = generate(self.n, **self.params)
+        return out
+
+
+# ----------------------------------------------------------------------
+# reversible synthesis (tbs / dbs / exs / esopbs / bdd)
+# ----------------------------------------------------------------------
+_SYNTHESIS_METHODS = ("tbs", "tbs-bidir", "dbs", "exact", "esop", "bdd")
+
+
+def _resolvable_by_name(function) -> bool:
+    """Return whether ``function`` is its module's attribute of that name.
+
+    Only then is ``(module, qualname)`` a faithful cache identity;
+    closures and lambdas share qualnames across distinct behaviors.
+    """
+    import sys
+
+    module = sys.modules.get(getattr(function, "__module__", None) or "")
+    qualname = getattr(function, "__qualname__", "")
+    return (
+        module is not None
+        and "." not in qualname
+        and getattr(module, qualname, None) is function
+    )
+
+
+class SynthesisPass(Pass):
+    """Synthesize the specification into an MCT cascade.
+
+    Wraps the reversible-synthesis portfolio of Sec. V: pass
+    ``method`` to pick transformation-based (``tbs``), bidirectional
+    (``tbs-bidir``), decomposition-based (``dbs``), exact search
+    (``exact``), ESOP-based (``esop``) or BDD-based (``bdd``)
+    synthesis — or give an explicit callable mapping a
+    :class:`~repro.boolean.permutation.BitPermutation` to a
+    :class:`~repro.synthesis.reversible.ReversibleCircuit`.
+
+    Args:
+        method: one of the method names above, or a callable.
+    """
+
+    stage = "synthesis"
+    reads = ("function",)
+    writes = ("reversible", "artifacts")
+
+    def __init__(self, method="tbs") -> None:
+        """Select the synthesis method (name or callable)."""
+        if callable(method) and not isinstance(method, str):
+            self.method = method
+            self.name = getattr(method, "__name__", "custom")
+            # (module, qualname) only identifies a resolvable
+            # module-level function; closures/lambdas sharing a
+            # qualname would collide in the cache, so opt out.
+            self.cacheable = _resolvable_by_name(method)
+        elif method in _SYNTHESIS_METHODS:
+            self.method = method
+            self.name = method
+        else:
+            raise PipelineError(f"unknown synthesis method {method!r}")
+
+    def signature(self) -> Tuple[Any, ...]:
+        """Return the method name (or callable qualname) as the key."""
+        if isinstance(self.method, str):
+            return (self.method,)
+        return (
+            getattr(self.method, "__module__", "?"),
+            getattr(self.method, "__qualname__", repr(self.method)),
+        )
+
+    def run(self, state: FlowState) -> FlowState:
+        """Synthesize ``function`` into ``reversible``."""
+        out = state.copy(skip=("reversible",))
+        out.reversible = None
+        function = state.function
+        if function is None:
+            raise PipelineError(f"{self.name}: no specification in store")
+        if not isinstance(self.method, str):
+            out.reversible = self.method(function)
+            return out
+        if self.method == "esop":
+            if not isinstance(function, TruthTable):
+                raise PipelineError("esop synthesis needs a truth table")
+            out.reversible = esop_synthesis(function)
+            return out
+        if self.method == "bdd":
+            if not isinstance(function, TruthTable):
+                raise PipelineError("bdd synthesis needs a truth table")
+            result = bdd_synthesis(function)
+            out.reversible = result.circuit
+            out.artifacts["bdd"] = result
+            return out
+        if not isinstance(function, BitPermutation):
+            raise PipelineError(f"{self.name} synthesis needs a permutation")
+        if self.method == "tbs":
+            out.reversible = transformation_based_synthesis(function)
+        elif self.method == "tbs-bidir":
+            out.reversible = bidirectional_synthesis(function)
+        elif self.method == "dbs":
+            out.reversible = decomposition_based_synthesis(function)
+        else:  # exact
+            circuit = exact_synthesis(function)
+            if circuit is None:
+                raise PipelineError("exact synthesis exceeded the gate bound")
+            out.reversible = circuit
+        return out
+
+    def verify(self, before: FlowState, after: FlowState) -> Optional[str]:
+        """Check the cascade against the specification."""
+        function, cascade = after.function, after.reversible
+        if cascade is None:
+            return "synthesis produced no cascade"
+        if self.method == "esop" and isinstance(function, TruthTable):
+            if not verify_esop_circuit(cascade, function):
+                return "esop cascade does not compute the truth table"
+            return None
+        if self.method == "bdd" and isinstance(function, TruthTable):
+            if not verify_bdd_synthesis(after.artifacts["bdd"], function):
+                return "bdd cascade does not compute the truth table"
+            return None
+        return verification.check_specification(cascade, function)
+
+
+# ----------------------------------------------------------------------
+# cascade optimization (revsimp / templ)
+# ----------------------------------------------------------------------
+class SimplifyPass(Pass):
+    """Cancel and merge MCT gates — the ``revsimp`` command.
+
+    Args:
+        max_rounds: fixpoint iteration bound passed to
+            :func:`~repro.optimization.simplify.simplify_reversible`.
+    """
+
+    name = "revsimp"
+    stage = "optimization"
+    reads = ("reversible",)
+    writes = ("reversible",)
+
+    def __init__(self, max_rounds: int = 10) -> None:
+        """Store the fixpoint iteration bound."""
+        self.max_rounds = max_rounds
+
+    def signature(self) -> Tuple[Any, ...]:
+        """Return (max_rounds,)."""
+        return (self.max_rounds,)
+
+    def run(self, state: FlowState) -> FlowState:
+        """Rewrite ``reversible`` with the simplified cascade."""
+        if state.reversible is None:
+            raise PipelineError("revsimp: no reversible circuit in store")
+        out = state.copy(skip=("reversible",))
+        out.reversible = simplify_reversible(
+            state.reversible, max_rounds=self.max_rounds
+        )
+        return out
+
+    def verify(self, before: FlowState, after: FlowState) -> Optional[str]:
+        """Check that the cascade permutation is unchanged."""
+        return verification.check_same_permutation(
+            before.reversible, after.reversible
+        )
+
+
+class TemplatePass(Pass):
+    """Apply template rewriting to the cascade — the ``templ`` command."""
+
+    name = "templ"
+    stage = "optimization"
+    reads = ("reversible",)
+    writes = ("reversible",)
+
+    def run(self, state: FlowState) -> FlowState:
+        """Rewrite ``reversible`` with the template-optimized cascade."""
+        if state.reversible is None:
+            raise PipelineError("templ: no reversible circuit in store")
+        out = state.copy(skip=("reversible",))
+        out.reversible = template_optimize(state.reversible)
+        return out
+
+    def verify(self, before: FlowState, after: FlowState) -> Optional[str]:
+        """Check that the cascade permutation is unchanged."""
+        return verification.check_same_permutation(
+            before.reversible, after.reversible
+        )
+
+
+# ----------------------------------------------------------------------
+# Clifford+T mapping (rptm)
+# ----------------------------------------------------------------------
+class MapToCliffordTPass(Pass):
+    """Map the cascade (or an MCT-bearing circuit) to Clifford+T.
+
+    Wraps :func:`~repro.mapping.barenco.map_to_clifford_t` — the
+    ``rptm`` command when ``relative_phase`` is true (Sec. V's
+    relative-phase Toffoli mapping [42]).
+
+    Args:
+        relative_phase: use RCCX ladders (cheaper T-count).
+        only_if_needed: when reading a quantum circuit, skip mapping
+            if it contains no multi-controlled gates.
+        prefer_clean: widen the register with clean ancillae instead
+            of borrowing dirty idle lines.
+    """
+
+    stage = "mapping"
+    reads = ("reversible", "quantum")
+    writes = ("quantum",)
+
+    def __init__(
+        self,
+        relative_phase: bool = True,
+        only_if_needed: bool = False,
+        prefer_clean: bool = True,
+    ) -> None:
+        """Store the mapping options."""
+        self.name = "rptm" if relative_phase else "ctmap"
+        self.relative_phase = relative_phase
+        self.only_if_needed = only_if_needed
+        self.prefer_clean = prefer_clean
+
+    def signature(self) -> Tuple[Any, ...]:
+        """Return the mapping option triple."""
+        return (self.relative_phase, self.only_if_needed, self.prefer_clean)
+
+    def _uses_quantum_source(self, state: FlowState) -> bool:
+        """Decide whether the pass lowers ``quantum`` or the cascade.
+
+        The shell's ``rptm`` maps the cascade; the device flow's
+        on-need lowering (``only_if_needed``) operates on the current
+        quantum circuit even when a (possibly stale) cascade is still
+        in the store from an earlier stage.
+        """
+        if state.reversible is None:
+            return True
+        return self.only_if_needed and state.quantum is not None
+
+    def run(self, state: FlowState) -> FlowState:
+        """Write the Clifford+T circuit into ``quantum``.
+
+        Maps the reversible cascade when it is the flow's source;
+        with ``only_if_needed`` (the device flow) the current quantum
+        circuit is lowered instead, and left untouched when it has no
+        multi-controlled gates.
+        """
+        if not self._uses_quantum_source(state):
+            out = state.copy(skip=("quantum",))
+            out.quantum = map_to_clifford_t(
+                state.reversible,
+                relative_phase=self.relative_phase,
+                prefer_clean=self.prefer_clean,
+            )
+            return out
+        if state.quantum is None:
+            raise PipelineError("rptm: no circuit in store")
+        lowerable = ("ccx", "ccz", "mcx", "mcz", "cz")
+        if self.only_if_needed and not any(
+            g.name in lowerable for g in state.quantum.gates
+        ):
+            return state.copy()
+        out = state.copy(skip=("quantum",))
+        out.quantum = map_to_clifford_t(
+            state.quantum,
+            relative_phase=self.relative_phase,
+            prefer_clean=self.prefer_clean,
+        )
+        return out
+
+    def verify(self, before: FlowState, after: FlowState) -> Optional[str]:
+        """Check the mapped circuit against its actual source.
+
+        Cascade lowering uses the ancilla-aware basis-state check;
+        quantum-circuit lowering uses the extended-unitary check,
+        which also covers register widening by clean ancillae.  An
+        untouched circuit (on-need lowering found nothing to lower)
+        skips the dense compute.
+        """
+        if after.quantum is None:
+            return None
+        if not self._uses_quantum_source(before):
+            return verification.check_mapped_circuit(
+                after.quantum, before.reversible
+            )
+        if before.quantum is not None:
+            if (
+                before.quantum.num_qubits == after.quantum.num_qubits
+                and before.quantum.gates == after.quantum.gates
+            ):
+                return None
+            return verification.check_extended_unitary(
+                before.quantum, after.quantum
+            )
+        return None
+
+    def statistics(self, before: FlowState, after: FlowState) -> Dict[str, Any]:
+        """Report whether the output is pure Clifford+T."""
+        if after.quantum is None:
+            return {}
+        return {"clifford_t": after.quantum.is_clifford_t()}
+
+
+# ----------------------------------------------------------------------
+# quantum-circuit optimization (cancel / tpar)
+# ----------------------------------------------------------------------
+class CancelPass(Pass):
+    """Cancel adjacent inverse gate pairs — the ``cancel`` command."""
+
+    name = "cancel"
+    stage = "optimization"
+    reads = ("quantum",)
+    writes = ("quantum",)
+
+    def run(self, state: FlowState) -> FlowState:
+        """Rewrite ``quantum`` with adjacent inverses cancelled."""
+        if state.quantum is None:
+            raise PipelineError("cancel: no quantum circuit in store")
+        out = state.copy(skip=("quantum",))
+        out.quantum = cancel_adjacent_gates(state.quantum)
+        return out
+
+    def verify(self, before: FlowState, after: FlowState) -> Optional[str]:
+        """Check unitary equivalence up to global phase."""
+        return verification.check_same_unitary(before.quantum, after.quantum)
+
+
+class TparPass(Pass):
+    """Fold the phase polynomial to cut T-count — the ``tpar`` command.
+
+    Args:
+        pre_cancel: run gate cancellation before folding (the shell's
+            ``tpar`` does, exposing more parity collisions).
+        post_cancel: run gate cancellation after folding.
+    """
+
+    name = "tpar"
+    stage = "optimization"
+    reads = ("quantum",)
+    writes = ("quantum",)
+
+    def __init__(self, pre_cancel: bool = True, post_cancel: bool = True) -> None:
+        """Store the cancellation bracketing options."""
+        self.pre_cancel = pre_cancel
+        self.post_cancel = post_cancel
+
+    def signature(self) -> Tuple[Any, ...]:
+        """Return (pre_cancel, post_cancel)."""
+        return (self.pre_cancel, self.post_cancel)
+
+    def run(self, state: FlowState) -> FlowState:
+        """Rewrite ``quantum`` with merged phase rotations."""
+        if state.quantum is None:
+            raise PipelineError("tpar: no quantum circuit in store")
+        out = state.copy(skip=("quantum",))
+        work = state.quantum
+        if self.pre_cancel:
+            work = cancel_adjacent_gates(work)
+        work = tpar_optimize(work)
+        if self.post_cancel:
+            work = cancel_adjacent_gates(work)
+        out.quantum = work
+        return out
+
+    def verify(self, before: FlowState, after: FlowState) -> Optional[str]:
+        """Check unitary equivalence up to global phase."""
+        return verification.check_same_unitary(before.quantum, after.quantum)
+
+
+# ----------------------------------------------------------------------
+# device routing
+# ----------------------------------------------------------------------
+class RoutePass(Pass):
+    """Insert SWAPs to fit a device coupling graph.
+
+    Wraps :func:`~repro.mapping.routing.route_circuit` (the stage the
+    paper delegates to IBM's stack in Sec. VII).
+
+    Args:
+        coupling: target device topology.
+        initial_layout: optional logical-to-physical seed layout.
+    """
+
+    name = "route"
+    stage = "routing"
+    reads = ("quantum",)
+    writes = ("quantum", "routing")
+
+    def __init__(
+        self,
+        coupling: CouplingMap,
+        initial_layout: Optional[Tuple[int, ...]] = None,
+    ) -> None:
+        """Store the device topology and optional seed layout."""
+        self.coupling = coupling
+        self.initial_layout = (
+            tuple(initial_layout) if initial_layout is not None else None
+        )
+
+    def signature(self) -> Tuple[Any, ...]:
+        """Return (num_qubits, sorted edges, initial layout)."""
+        edges = tuple(sorted(tuple(sorted(e)) for e in self.coupling.edges))
+        return (self.coupling.num_qubits, edges, self.initial_layout)
+
+    def run(self, state: FlowState) -> FlowState:
+        """Write the routed circuit and layout bookkeeping."""
+        if state.quantum is None:
+            raise PipelineError("route: no quantum circuit in store")
+        out = state.copy(skip=("quantum",))
+        result = route_circuit(
+            state.quantum, self.coupling, initial_layout=self.initial_layout
+        )
+        out.quantum = result.circuit
+        out.routing = result
+        return out
+
+    def verify(self, before: FlowState, after: FlowState) -> Optional[str]:
+        """Check the routed circuit with ``verify_routing``.
+
+        The dense check builds unitaries at the *routed* (device)
+        width, so the skip guard uses that width, not the logical one.
+        """
+        if after.routing is None:
+            return "routing produced no result"
+        if after.routing.circuit.num_qubits > verification.MAX_VERIFY_QUBITS:
+            return None
+        if not verify_routing(before.quantum, after.routing):
+            return "routed circuit is not equivalent under its layout"
+        return None
+
+    def statistics(self, before: FlowState, after: FlowState) -> Dict[str, Any]:
+        """Report the SWAP count of the routing result."""
+        if after.routing is None:
+            return {}
+        return {"swaps": after.routing.swap_count}
+
+
+# ----------------------------------------------------------------------
+# analysis
+# ----------------------------------------------------------------------
+class StatisticsPass(Pass):
+    """Collect ``ps -c`` statistics into the artifacts store."""
+
+    name = "ps"
+    stage = "analysis"
+    reads = ("quantum",)
+    writes = ("artifacts",)
+
+    def run(self, state: FlowState) -> FlowState:
+        """Store the statistics bundle under ``artifacts['statistics']``."""
+        if state.quantum is None:
+            raise PipelineError("ps: no quantum circuit in store")
+        out = state.copy()
+        out.artifacts["statistics"] = circuit_statistics(state.quantum)
+        return out
+
+    def statistics(self, before: FlowState, after: FlowState) -> Dict[str, Any]:
+        """Report the collected statistics bundle."""
+        stats = after.artifacts.get("statistics")
+        return {"statistics": stats} if stats is not None else {}

@@ -1,0 +1,369 @@
+"""The pipeline runner: timed, cached, verified pass execution.
+
+:class:`Pipeline` executes :class:`~.passes.Pass` objects over a
+:class:`~.state.FlowState`, producing one :class:`PassRecord` per pass
+with wall-clock timing, gate-count/T-count deltas and pass-specific
+details.  Behind flags it also
+
+* replays results from a content-keyed :class:`~.cache.PassCache`
+  (skipping recomputation on repeated flows), and
+* fail-fast verifies every pass functionally (permutation / unitary
+  checks, Sec. IX), raising :class:`VerificationError` at the first
+  pass that breaks the flow's semantics.
+
+The RevKit shell, the Q#/ProjectQ framework flows and the paper-flow
+benchmarks all execute through this runner.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from .cache import PassCache, shared_cache
+from .passes import Pass
+from .state import FlowState, PipelineError, state_key
+
+
+class VerificationError(PipelineError):
+    """Raised when a pass breaks the flow's functional semantics."""
+
+
+def state_metrics(state: FlowState) -> Dict[str, Any]:
+    """Summarize the cost figures of a flow store.
+
+    Args:
+        state: the store to measure.
+
+    Returns:
+        A dict with (present-field dependent) keys ``mct_gates``,
+        ``lines``, ``quantum_cost``, ``gates``, ``qubits`` and
+        ``t_count``.
+    """
+    metrics: Dict[str, Any] = {}
+    if state.reversible is not None:
+        metrics["mct_gates"] = len(state.reversible)
+        metrics["lines"] = state.reversible.num_lines
+        metrics["quantum_cost"] = state.reversible.quantum_cost()
+    if state.quantum is not None:
+        metrics["gates"] = len(state.quantum)
+        metrics["qubits"] = state.quantum.num_qubits
+        metrics["t_count"] = state.quantum.t_count()
+    return metrics
+
+
+@dataclass
+class PassRecord:
+    """What one pass execution did.
+
+    Attributes:
+        name: the pass's command-style name.
+        stage: the pass's flow phase.
+        seconds: wall-clock time of the pass's ``run`` (replay time
+            on a cache hit); verification and statistics hooks are
+            not included.
+        cache_hit: whether the result was replayed from the cache.
+        before: :func:`state_metrics` of the incoming store.
+        after: :func:`state_metrics` of the outgoing store.
+        details: pass-specific statistics (swap counts, ...).
+    """
+
+    name: str
+    stage: str
+    seconds: float
+    cache_hit: bool
+    before: Dict[str, Any] = field(default_factory=dict)
+    after: Dict[str, Any] = field(default_factory=dict)
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def delta(self, metric: str) -> Optional[int]:
+        """Return ``after - before`` for ``metric`` when both exist.
+
+        Args:
+            metric: a :func:`state_metrics` key, e.g. ``t_count``.
+
+        Returns:
+            The signed change, or ``None`` if the metric is missing
+            on either side.
+        """
+        before, after = self.before.get(metric), self.after.get(metric)
+        if before is None or after is None:
+            return None
+        return after - before
+
+    def summary(self) -> str:
+        """Return a one-line human-readable delta summary."""
+        parts: List[str] = []
+        for metric, label in (
+            ("mct_gates", "MCT"),
+            ("gates", "gates"),
+            ("t_count", "T"),
+        ):
+            before, after = self.before.get(metric), self.after.get(metric)
+            if after is None:
+                continue
+            if before is None or before == after:
+                parts.append(f"{label}={after}")
+            else:
+                parts.append(f"{label} {before}->{after}")
+        for key, value in self.details.items():
+            if isinstance(value, (int, bool, str)):
+                parts.append(f"{key}={value}")
+        return "  ".join(parts)
+
+
+@dataclass
+class PipelineResult:
+    """Final store plus the per-pass records of one flow execution."""
+
+    state: FlowState
+    records: List[PassRecord] = field(default_factory=list)
+
+    @property
+    def quantum(self):
+        """Return the final quantum circuit (or ``None``)."""
+        return self.state.quantum
+
+    @property
+    def reversible(self):
+        """Return the final reversible cascade (or ``None``)."""
+        return self.state.reversible
+
+    @property
+    def routing(self):
+        """Return the final routing result (or ``None``)."""
+        return self.state.routing
+
+    @property
+    def total_seconds(self) -> float:
+        """Return the summed wall-clock time of all passes."""
+        return sum(record.seconds for record in self.records)
+
+    def record(self, name: str) -> PassRecord:
+        """Return the first record of the pass called ``name``.
+
+        Args:
+            name: the pass name to look up.
+
+        Returns:
+            The matching :class:`PassRecord`.
+
+        Raises:
+            KeyError: if no pass of that name ran.
+        """
+        for record in self.records:
+            if record.name == name:
+                return record
+        raise KeyError(name)
+
+    def report(self) -> str:
+        """Format the records as an aligned per-pass table."""
+        return format_records(self.records)
+
+
+def format_records(records: Iterable[PassRecord]) -> str:
+    """Format pass records as an aligned text table.
+
+    Args:
+        records: the records to render.
+
+    Returns:
+        One line per pass: name, stage, time, cache marker, deltas.
+    """
+    rows = list(records)
+    if not rows:
+        return "(no passes executed)"
+    name_w = max(len(r.name) for r in rows)
+    stage_w = max(len(r.stage) for r in rows)
+    lines = []
+    for r in rows:
+        marker = "cached" if r.cache_hit else f"{r.seconds * 1e3:8.2f}ms"
+        lines.append(
+            f"{r.name:<{name_w}}  {r.stage:<{stage_w}}  "
+            f"{marker:>10}  {r.summary()}"
+        )
+    return "\n".join(lines)
+
+
+class Pipeline:
+    """Execute passes with timing, caching and optional verification.
+
+    Args:
+        verify: functionally verify every pass (fail-fast — the first
+            failing pass raises :class:`VerificationError`).  Dense
+            checks are skipped above the widths in
+            :mod:`~.verification`.
+        cache: a :class:`~.cache.PassCache`, the string ``"shared"``
+            for the process-wide cache (default), or ``None`` to
+            disable result caching.
+    """
+
+    def __init__(
+        self,
+        verify: bool = False,
+        cache: Union[PassCache, str, None] = "shared",
+    ) -> None:
+        """Configure verification and the result cache."""
+        self.verify = verify
+        if cache == "shared":
+            self.cache: Optional[PassCache] = shared_cache()
+        else:
+            self.cache = cache
+        self.history: List[PassRecord] = []
+
+    # ------------------------------------------------------------------
+    def apply(
+        self, pass_: Pass, state: FlowState
+    ) -> Tuple[FlowState, PassRecord]:
+        """Run one pass on ``state`` and record what happened.
+
+        Args:
+            pass_: the pass to execute.
+            state: the incoming store (never mutated).
+
+        Returns:
+            ``(new_state, record)``; the record is also appended to
+            :attr:`history`.
+
+        Raises:
+            VerificationError: when ``verify`` is on and the pass
+                broke the flow's semantics; nothing is cached or
+                recorded in that case, and a broken cached entry is
+                dropped.  Verified entries are flagged in the cache,
+                so replaying them skips re-verification.
+        """
+        cacheable = (
+            self.cache is not None and bool(pass_.writes) and pass_.cacheable
+        )
+        key = ""
+        started = time.perf_counter()
+        cached = None
+        if cacheable:
+            key = self._cache_key(pass_, state)
+            cached = self.cache.get(key)
+        if cached is not None:
+            outputs, details, verified = cached
+            result = self._apply_outputs(state, outputs)
+            seconds = time.perf_counter() - started
+            if self.verify and not verified:
+                failure = pass_.verify(state, result)
+                if failure is not None:
+                    # never replay a broken entry again
+                    self.cache.drop(key)
+                    raise VerificationError(
+                        f"pass {pass_.name!r}: {failure}"
+                    )
+                self.cache.mark_verified(key)
+            record = PassRecord(
+                name=pass_.name,
+                stage=pass_.stage,
+                seconds=seconds,
+                cache_hit=True,
+                before=state_metrics(state),
+                after=state_metrics(result),
+                details=details,
+            )
+        else:
+            run_started = time.perf_counter()
+            result = pass_.run(state)
+            seconds = time.perf_counter() - run_started
+            details = pass_.statistics(state, result)
+            if self.verify:
+                # verify BEFORE caching: a broken result must never be
+                # stored, or later verify=False runs would replay it
+                failure = pass_.verify(state, result)
+                if failure is not None:
+                    raise VerificationError(
+                        f"pass {pass_.name!r}: {failure}"
+                    )
+            record = PassRecord(
+                name=pass_.name,
+                stage=pass_.stage,
+                seconds=seconds,
+                cache_hit=False,
+                before=state_metrics(state),
+                after=state_metrics(result),
+                details=details,
+            )
+            if cacheable:
+                self.cache.put(
+                    key,
+                    self._collect_outputs(pass_, state, result),
+                    details,
+                    verified=self.verify,
+                )
+        self.history.append(record)
+        return result, record
+
+    def run(
+        self,
+        passes: Union[Iterable[Pass], Any],
+        state: Optional[FlowState] = None,
+    ) -> PipelineResult:
+        """Execute a sequence of passes (or a flow) end to end.
+
+        Args:
+            passes: an iterable of passes, or any object with a
+                ``passes`` attribute (a :class:`~.flows.Flow`).
+            state: the initial store; a fresh empty one by default.
+
+        Returns:
+            A :class:`PipelineResult` with the final store and the
+            records of exactly this execution.
+        """
+        if hasattr(passes, "passes"):
+            passes = passes.passes
+        current = state if state is not None else FlowState()
+        records: List[PassRecord] = []
+        for pass_ in passes:
+            current, record = self.apply(pass_, current)
+            records.append(record)
+        return PipelineResult(state=current, records=records)
+
+    def report(self) -> str:
+        """Format every pass this pipeline ever ran as a table."""
+        return format_records(self.history)
+
+    # ------------------------------------------------------------------
+    def _cache_key(self, pass_: Pass, state: FlowState) -> str:
+        """Build the content key for ``pass_`` applied to ``state``."""
+        signature = repr((pass_.name, type(pass_).__name__, pass_.signature()))
+        return signature + "/" + state_key(state, pass_.reads)
+
+    @staticmethod
+    def _collect_outputs(
+        pass_: Pass, before: FlowState, after: FlowState
+    ) -> Dict[str, Any]:
+        """Extract the written fields of ``after`` for caching.
+
+        The artifacts dict is stored as a diff (keys added or rebound
+        by the pass) so a replay cannot resurrect unrelated entries.
+        """
+        outputs: Dict[str, Any] = {}
+        for name in pass_.writes:
+            if name == "artifacts":
+                outputs["artifacts"] = {
+                    k: v
+                    for k, v in after.artifacts.items()
+                    if before.artifacts.get(k) is not v
+                }
+            else:
+                outputs[name] = getattr(after, name)
+        return outputs
+
+    @staticmethod
+    def _apply_outputs(
+        state: FlowState, outputs: Dict[str, Any]
+    ) -> FlowState:
+        """Overlay cached outputs onto a copy of ``state``."""
+        skip = tuple(
+            name for name in ("reversible", "quantum") if name in outputs
+        )
+        result = state.copy(skip=skip)
+        for name, value in outputs.items():
+            if name == "artifacts":
+                result.artifacts.update(value)
+            else:
+                setattr(result, name, value)
+        return result

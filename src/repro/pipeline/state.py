@@ -1,0 +1,141 @@
+"""Flow state and content fingerprinting for the pass manager.
+
+A compilation flow (Sec. VI, Eq. (5)) threads a small store through a
+sequence of passes: the current Boolean specification, the current
+reversible (MCT) cascade, the current quantum circuit, and the routing
+bookkeeping.  :class:`FlowState` is that store; it mirrors the RevKit
+shell's function/circuit registers so the shell, the framework flows,
+and the benchmarks can all share one pass-manager substrate.
+
+:func:`state_token` and :func:`state_key` derive deterministic content
+fingerprints from the store, which the pass-result cache uses to key
+results by *what* a pass consumed rather than by object identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, Union
+
+from ..boolean.permutation import BitPermutation
+from ..boolean.truth_table import TruthTable
+from ..core.circuit import QuantumCircuit
+from ..mapping.routing import RoutingResult
+from ..synthesis.reversible import ReversibleCircuit
+
+#: Names of the structured fields a pass may read or write.
+FIELDS = ("function", "reversible", "quantum", "routing", "artifacts")
+
+
+class PipelineError(RuntimeError):
+    """Raised when a pass cannot run or a flow is malformed."""
+
+
+@dataclass
+class FlowState:
+    """The store threaded through a compilation flow.
+
+    Attributes:
+        function: Boolean specification (permutation or truth table).
+        reversible: current MCT cascade.
+        quantum: current quantum circuit.
+        routing: layout bookkeeping of the last routing pass.
+        artifacts: free-form side products (emitted code, synthesis
+            result objects with ancilla bookkeeping, ...).
+    """
+
+    function: Optional[Union[BitPermutation, TruthTable]] = None
+    reversible: Optional[ReversibleCircuit] = None
+    quantum: Optional[QuantumCircuit] = None
+    routing: Optional[RoutingResult] = None
+    artifacts: Dict[str, Any] = field(default_factory=dict)
+
+    def copy(self, skip: Iterable[str] = ()) -> "FlowState":
+        """Return a shallow-but-safe copy of the store.
+
+        Circuits are copied via their own ``copy`` (gate objects are
+        immutable), the artifacts dict is re-created; specification and
+        routing objects are shared (treated as read-only).
+
+        Args:
+            skip: circuit fields (``reversible``/``quantum``) to carry
+                over by reference instead of copying — an optimization
+                for callers about to overwrite them immediately.
+        """
+        reversible, quantum = self.reversible, self.quantum
+        if reversible is not None and "reversible" not in skip:
+            reversible = reversible.copy()
+        if quantum is not None and "quantum" not in skip:
+            quantum = quantum.copy()
+        return FlowState(
+            function=self.function,
+            reversible=reversible,
+            quantum=quantum,
+            routing=self.routing,
+            artifacts=dict(self.artifacts),
+        )
+
+
+def state_token(value: Any) -> str:
+    """Return a deterministic content token for one store value.
+
+    Args:
+        value: a store field value — ``None``, a specification, a
+            circuit, a routing result, or the artifacts dict.
+
+    Returns:
+        A string that is equal exactly when the content is equal,
+        suitable for hashing into a cache key.
+    """
+    if value is None:
+        return "none"
+    if isinstance(value, BitPermutation):
+        return f"perm:{tuple(value.image)!r}"
+    if isinstance(value, TruthTable):
+        return f"tt:{value.num_vars}:{value.bits}"
+    if isinstance(value, ReversibleCircuit):
+        gates = tuple(
+            (g.target, g.controls, g.polarity) for g in value.gates
+        )
+        # the name participates: replayed outputs carry name-derived
+        # metadata (``..._simp``, QASM headers), which must belong to
+        # the circuit actually looked up.
+        return f"rev:{value.name}:{value.num_lines}:{gates!r}"
+    if isinstance(value, QuantumCircuit):
+        gates = tuple(
+            (g.name, g.targets, g.controls, g.params, g.cbits)
+            for g in value.gates
+        )
+        return (
+            f"qc:{value.name}:{value.num_qubits}:"
+            f"{value.num_clbits}:{gates!r}"
+        )
+    if isinstance(value, RoutingResult):
+        return (
+            f"route:{state_token(value.circuit)}:"
+            f"{value.initial_layout!r}:{value.final_layout!r}"
+        )
+    if isinstance(value, dict):
+        items = sorted((str(k), state_token(v)) for k, v in value.items())
+        return f"dict:{items!r}"
+    return f"obj:{value!r}"
+
+
+def state_key(state: FlowState, fields: Iterable[str]) -> str:
+    """Hash the named store fields into one hex content key.
+
+    Args:
+        state: the flow store to fingerprint.
+        fields: field names (a subset of :data:`FIELDS`) to include.
+
+    Returns:
+        A sha256 hex digest over the selected fields' content tokens.
+    """
+    digest = hashlib.sha256()
+    for name in fields:
+        digest.update(name.encode())
+        digest.update(b"=")
+        digest.update(state_token(getattr(state, name)).encode())
+        digest.update(b";")
+    return digest.hexdigest()

@@ -1,0 +1,178 @@
+"""Functional-verification helpers used by the pass manager.
+
+Sec. IX of the paper lists verification as an obligation of the design
+automation flow: after every rewrite the circuit must still implement
+its specification.  These helpers back the :class:`~.runner.Pipeline`
+``verify`` flag — permutation checks for reversible cascades, and the
+dense column/unitary checks for mapped quantum circuits (feasible for
+the small widths the paper's artifacts use).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..boolean.permutation import BitPermutation
+from ..core.circuit import QuantumCircuit
+from ..synthesis.reversible import ReversibleCircuit
+
+#: Widest circuit for which dense unitary checks are attempted.
+MAX_VERIFY_QUBITS = 10
+
+
+def check_mapped_circuit(
+    quantum: QuantumCircuit,
+    reversible: ReversibleCircuit,
+    max_qubits: int = MAX_VERIFY_QUBITS + 1,
+) -> Optional[str]:
+    """Check a mapped circuit against its reversible specification.
+
+    The mapped circuit may use extra (clean) ancilla lines; the check
+    is that ``|x>|0> -> e^{i phi}|P(x)>|0>`` for every data input
+    ``x``, with ``P`` the reversible circuit's permutation.
+
+    Args:
+        quantum: the Clifford+T (or otherwise mapped) circuit.
+        reversible: the MCT cascade it must implement.
+        max_qubits: skip (return ``None``) above this width.
+
+    Returns:
+        ``None`` when the check passes or is skipped, else a message
+        describing the first mismatching basis input.
+    """
+    from ..core.unitary import circuit_unitary
+
+    if quantum.num_qubits > max_qubits:
+        return None
+    perm = reversible.permutation()
+    unitary = circuit_unitary(quantum)
+    n = reversible.num_lines
+    for x in range(1 << n):
+        column = unitary[:, x]
+        index = int(np.argmax(np.abs(column)))
+        if (
+            abs(abs(column[index]) - 1.0) > 1e-9
+            or np.abs(column).sum() - abs(column[index]) > 1e-9
+            or index != perm(x)
+        ):
+            return f"mismatch at input {x}"
+    return None
+
+
+def check_same_unitary(
+    before: QuantumCircuit,
+    after: QuantumCircuit,
+    max_qubits: int = MAX_VERIFY_QUBITS,
+) -> Optional[str]:
+    """Check two circuits for unitary equivalence up to global phase.
+
+    Args:
+        before: the circuit entering the pass.
+        after: the circuit the pass produced.
+        max_qubits: skip (return ``None``) above this width.
+
+    Returns:
+        ``None`` when equivalent (or skipped), else a message.
+    """
+    from ..core.unitary import circuit_unitary
+
+    if before.num_qubits != after.num_qubits:
+        return "pass changed the circuit width"
+    if before.num_qubits > max_qubits:
+        return None
+    if before.has_measurements() or after.has_measurements():
+        return None
+    u_before = circuit_unitary(before)
+    u_after = circuit_unitary(after)
+    return _compare_up_to_phase(u_before, u_after)
+
+
+def check_extended_unitary(
+    before: QuantumCircuit,
+    after: QuantumCircuit,
+    max_qubits: int = MAX_VERIFY_QUBITS + 1,
+) -> Optional[str]:
+    """Check a lowering that may have appended clean ancilla qubits.
+
+    The widened circuit must act as ``|psi>|0> -> (U|psi>)|0>`` with
+    ``U`` the original circuit's unitary (ancillae returned clean, no
+    leakage), up to one global phase.
+
+    Args:
+        before: the original circuit on ``n`` qubits.
+        after: the lowered circuit on ``n`` or more qubits (extra
+            lines appended above).
+        max_qubits: skip (return ``None``) when ``after`` is wider.
+
+    Returns:
+        ``None`` when equivalent (or skipped), else a message.
+    """
+    from ..core.unitary import circuit_unitary
+
+    if after.num_qubits < before.num_qubits:
+        return "pass narrowed the circuit"
+    if after.num_qubits > max_qubits:
+        return None
+    if before.has_measurements() or after.has_measurements():
+        return None
+    u_before = circuit_unitary(before)
+    u_after = circuit_unitary(after)
+    dim = 1 << before.num_qubits
+    if np.abs(u_after[dim:, :dim]).max(initial=0.0) > 1e-7:
+        return "lowered circuit leaks into the ancilla subspace"
+    return _compare_up_to_phase(u_before, u_after[:dim, :dim])
+
+
+def _compare_up_to_phase(u_before, u_after) -> Optional[str]:
+    """Compare two equal-shape matrices up to one global phase."""
+    # strip the global phase using the largest entry of the product
+    overlap = u_after.conj().T @ u_before
+    phase = overlap[np.unravel_index(np.argmax(np.abs(overlap)), overlap.shape)]
+    if abs(abs(phase) - 1.0) > 1e-7:
+        return "pass changed the circuit unitary"
+    if not np.allclose(u_before, phase * u_after, atol=1e-7):
+        return "pass changed the circuit unitary"
+    return None
+
+
+def check_same_permutation(
+    before: ReversibleCircuit, after: ReversibleCircuit
+) -> Optional[str]:
+    """Check that a cascade rewrite preserved the permutation.
+
+    Args:
+        before: the cascade entering the pass.
+        after: the cascade the pass produced.
+
+    Returns:
+        ``None`` when both cascades realize the same permutation,
+        else a message.
+    """
+    if before.num_lines != after.num_lines:
+        return "pass changed the line count"
+    if before.permutation() != after.permutation():
+        return "pass changed the realized permutation"
+    return None
+
+
+def check_specification(
+    reversible: ReversibleCircuit, function
+) -> Optional[str]:
+    """Check a synthesized cascade against its Boolean specification.
+
+    Args:
+        reversible: the synthesized MCT cascade.
+        function: a :class:`~repro.boolean.permutation.BitPermutation`
+            (checked exactly) — other specification types are skipped
+            here because their line embedding is synthesis-specific.
+
+    Returns:
+        ``None`` when the cascade matches (or the check is skipped),
+        else a message.
+    """
+    if isinstance(function, BitPermutation):
+        if reversible.permutation() != function:
+            return "synthesized cascade does not realize the permutation"
+    return None

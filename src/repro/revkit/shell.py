@@ -12,6 +12,14 @@ algorithms.  Commands operate on a store holding the current function
 and the current quantum circuit.  Every command is also exposed as a
 Python method, mirroring RevKit's Python bindings
 (``revkit.revgen(hwb=4)``).
+
+Since PR 2 the shell is a thin front-end over the pass manager: the
+store is a :class:`~repro.pipeline.FlowState` and every synthesis /
+optimization / mapping command dispatches one
+:class:`~repro.pipeline.Pass` through a shared
+:class:`~repro.pipeline.Pipeline`, inheriting its per-pass timing,
+delta records and content-keyed result cache.  ``shell.report()``
+prints the accumulated per-pass statistics.
 """
 
 from __future__ import annotations
@@ -23,19 +31,25 @@ from ..boolean.permutation import BitPermutation
 from ..boolean.truth_table import TruthTable
 from ..core.circuit import QuantumCircuit
 from ..core.statistics import circuit_statistics
-from ..mapping.barenco import map_to_clifford_t
-from ..optimization.simplify import cancel_adjacent_gates, simplify_reversible
-from ..optimization.templates import template_optimize
-from ..optimization.tpar import tpar_optimize
-from ..synthesis.decomposition import decomposition_based_synthesis
-from ..synthesis.esop_based import esop_synthesis
-from ..synthesis.exact import exact_synthesis
-from ..synthesis.reversible import ReversibleCircuit
-from ..synthesis.transformation import (
-    bidirectional_synthesis,
-    transformation_based_synthesis,
+from ..pipeline import (
+    GENERATOR_KINDS,
+    CancelPass,
+    FlowState,
+    GeneratePass,
+    MapToCliffordTPass,
+    Pass,
+    Pipeline,
+    PipelineError,
+    SimplifyPass,
+    SynthesisPass,
+    TemplatePass,
+    TparPass,
 )
-from . import generators
+from ..pipeline.runner import PassRecord
+from ..pipeline.verification import check_mapped_circuit
+from ..synthesis.decomposition import decomposition_based_synthesis
+from ..synthesis.reversible import ReversibleCircuit
+from ..synthesis.transformation import transformation_based_synthesis
 
 
 class ShellError(RuntimeError):
@@ -43,12 +57,18 @@ class ShellError(RuntimeError):
 
 
 class RevKitShell:
-    """Command interpreter with a function/circuit store."""
+    """Command interpreter with a function/circuit store.
 
-    def __init__(self) -> None:
-        self.function: Optional[Union[BitPermutation, TruthTable]] = None
-        self.reversible: Optional[ReversibleCircuit] = None
-        self.quantum: Optional[QuantumCircuit] = None
+    Args:
+        pipeline: the pass-manager runner commands dispatch through;
+            by default a fresh :class:`~repro.pipeline.Pipeline` using
+            the process-wide result cache, so re-running a script
+            replays cached pass results.
+    """
+
+    def __init__(self, pipeline: Optional[Pipeline] = None) -> None:
+        self.state = FlowState()
+        self.pipeline = pipeline if pipeline is not None else Pipeline()
         self.log: List[str] = []
         self._commands: Dict[str, Callable[..., str]] = {
             "revgen": self._cmd_revgen,
@@ -68,6 +88,36 @@ class RevKitShell:
         }
 
     # ------------------------------------------------------------------
+    # store access (backed by the pipeline FlowState)
+    # ------------------------------------------------------------------
+    @property
+    def function(self) -> Optional[Union[BitPermutation, TruthTable]]:
+        """The current Boolean specification."""
+        return self.state.function
+
+    @function.setter
+    def function(self, value) -> None:
+        self.state.function = value
+
+    @property
+    def reversible(self) -> Optional[ReversibleCircuit]:
+        """The current reversible (MCT) circuit."""
+        return self.state.reversible
+
+    @reversible.setter
+    def reversible(self, value) -> None:
+        self.state.reversible = value
+
+    @property
+    def quantum(self) -> Optional[QuantumCircuit]:
+        """The current quantum circuit."""
+        return self.state.quantum
+
+    @quantum.setter
+    def quantum(self, value) -> None:
+        self.state.quantum = value
+
+    # ------------------------------------------------------------------
     # command-line entry point
     # ------------------------------------------------------------------
     def run(self, script: str) -> List[str]:
@@ -84,6 +134,7 @@ class RevKitShell:
         return outputs
 
     def execute(self, command: str) -> str:
+        """Execute one command line and return its output string."""
         tokens = shlex.split(command)
         name, args = tokens[0], tokens[1:]
         handler = self._commands.get(name)
@@ -92,6 +143,18 @@ class RevKitShell:
         output = handler(*args)
         self.log.append(f"{command}: {output}")
         return output
+
+    def report(self) -> str:
+        """Per-pass timing/delta table of every command dispatched."""
+        return self.pipeline.report()
+
+    def _apply(self, pass_: Pass) -> PassRecord:
+        """Dispatch one pass through the pipeline, updating the store."""
+        try:
+            self.state, record = self.pipeline.apply(pass_, self.state)
+        except PipelineError as exc:
+            raise ShellError(str(exc)) from exc
+        return record
 
     # ------------------------------------------------------------------
     # store helpers
@@ -116,35 +179,16 @@ class RevKitShell:
     # ------------------------------------------------------------------
     def _cmd_revgen(self, *args: str) -> str:
         options = _parse_options(args)
-        if "hwb" in options:
-            self.function = generators.hwb(int(options["hwb"]))
-        elif "random" in options:
-            seed = int(options.get("seed", 0))
-            self.function = generators.random_permutation(
-                int(options["random"]), seed=seed
-            )
-        elif "adder" in options:
-            self.function = generators.modular_adder(
-                int(options["adder"]), int(options.get("const", 1))
-            )
-        elif "rotate" in options:
-            self.function = generators.bit_rotation(
-                int(options["rotate"]), int(options.get("amount", 1))
-            )
-        elif "gray" in options:
-            self.function = generators.gray_code(int(options["gray"]))
-        elif "bent" in options:
-            self.function = generators.inner_product_bent(int(options["bent"]))
-        elif "randfunc" in options:
-            seed = int(options.get("seed", 0))
-            self.function = generators.random_function(
-                int(options["randfunc"]), seed=seed
-            )
+        for kind in GENERATOR_KINDS:
+            if kind in options:
+                n = int(options.pop(kind))
+                # GeneratePass keeps the options its family accepts
+                # and ignores the rest (historical shell tolerance).
+                self._apply(GeneratePass(kind, n, **options))
+                break
         else:
-            raise ShellError(
-                "revgen needs one of --hwb/--random/--adder/--rotate/"
-                "--gray/--bent/--randfunc"
-            )
+            flags = "/".join(f"--{kind}" for kind in GENERATOR_KINDS)
+            raise ShellError(f"revgen needs one of {flags}")
         kind = type(self.function).__name__
         return f"generated {kind}"
 
@@ -155,19 +199,19 @@ class RevKitShell:
 
     def _cmd_tbs(self, *args: str) -> str:
         options = _parse_options(args)
-        perm = self._need_permutation()
+        self._need_permutation()
         if "bidirectional" in options or "bidir" in options:
-            self.reversible = bidirectional_synthesis(perm)
+            self._apply(SynthesisPass("tbs-bidir"))
         else:
-            self.reversible = transformation_based_synthesis(perm)
+            self._apply(SynthesisPass("tbs"))
         return f"{len(self.reversible)} gates"
 
     def tbs(self, bidirectional: bool = False) -> str:
         return self._cmd_tbs(*(["--bidirectional"] if bidirectional else []))
 
     def _cmd_dbs(self, *args: str) -> str:
-        perm = self._need_permutation()
-        self.reversible = decomposition_based_synthesis(perm)
+        self._need_permutation()
+        self._apply(SynthesisPass("dbs"))
         return f"{len(self.reversible)} gates"
 
     def dbs(self) -> str:
@@ -176,35 +220,38 @@ class RevKitShell:
     def _cmd_esopbs(self, *args: str) -> str:
         if not isinstance(self.function, TruthTable):
             raise ShellError("esopbs needs a single-output truth table")
-        self.reversible = esop_synthesis(self.function)
+        self._apply(SynthesisPass("esop"))
         return f"{len(self.reversible)} gates on {self.reversible.num_lines} lines"
 
     def esopbs(self) -> str:
         return self._cmd_esopbs()
 
     def _cmd_exact(self, *args: str) -> str:
-        perm = self._need_permutation()
-        circuit = exact_synthesis(perm)
-        if circuit is None:
-            raise ShellError("exact synthesis exceeded the gate bound")
-        self.reversible = circuit
-        return f"{len(circuit)} gates (optimal)"
+        self._need_permutation()
+        self._apply(SynthesisPass("exact"))
+        return f"{len(self.reversible)} gates (optimal)"
 
     def exs(self) -> str:
         return self._cmd_exact()
 
     def _cmd_revsimp(self, *args: str) -> str:
-        before = len(self._need_reversible())
-        self.reversible = simplify_reversible(self.reversible)
-        return f"{before} -> {len(self.reversible)} gates"
+        self._need_reversible()
+        record = self._apply(SimplifyPass())
+        return (
+            f"{record.before['mct_gates']} -> "
+            f"{record.after['mct_gates']} gates"
+        )
 
     def revsimp(self) -> str:
         return self._cmd_revsimp()
 
     def _cmd_templ(self, *args: str) -> str:
-        before = len(self._need_reversible())
-        self.reversible = template_optimize(self.reversible)
-        return f"{before} -> {len(self.reversible)} gates"
+        self._need_reversible()
+        record = self._apply(TemplatePass())
+        return (
+            f"{record.before['mct_gates']} -> "
+            f"{record.after['mct_gates']} gates"
+        )
 
     def templ(self) -> str:
         return self._cmd_templ()
@@ -212,9 +259,8 @@ class RevKitShell:
     def _cmd_rptm(self, *args: str) -> str:
         options = _parse_options(args)
         relative_phase = "no-relative-phase" not in options
-        self.quantum = map_to_clifford_t(
-            self._need_reversible(), relative_phase=relative_phase
-        )
+        self._need_reversible()
+        self._apply(MapToCliffordTPass(relative_phase=relative_phase))
         return (
             f"{len(self.quantum)} gates, T={self.quantum.t_count()}, "
             f"{self.quantum.num_qubits} qubits"
@@ -226,21 +272,19 @@ class RevKitShell:
         )
 
     def _cmd_tpar(self, *args: str) -> str:
-        circuit = self._need_quantum()
-        before = circuit.t_count()
-        optimized = tpar_optimize(cancel_adjacent_gates(circuit))
-        optimized = cancel_adjacent_gates(optimized)
-        self.quantum = optimized
-        return f"T: {before} -> {optimized.t_count()}"
+        self._need_quantum()
+        record = self._apply(TparPass(pre_cancel=True, post_cancel=True))
+        return (
+            f"T: {record.before['t_count']} -> {record.after['t_count']}"
+        )
 
     def tpar(self) -> str:
         return self._cmd_tpar()
 
     def _cmd_cancel(self, *args: str) -> str:
-        circuit = self._need_quantum()
-        before = len(circuit)
-        self.quantum = cancel_adjacent_gates(circuit)
-        return f"{before} -> {len(self.quantum)} gates"
+        self._need_quantum()
+        record = self._apply(CancelPass())
+        return f"{record.before['gates']} -> {record.after['gates']} gates"
 
     def cancel(self) -> str:
         return self._cmd_cancel()
@@ -293,26 +337,15 @@ class RevKitShell:
         (Sec. IX's verification obligation).  Limited to widths where
         a dense unitary is feasible.
         """
-        import numpy as np
-
-        from ..core.unitary import circuit_unitary
-
         quantum = self._need_quantum()
         reversible = self._need_reversible()
         if quantum.num_qubits > 11:
             raise ShellError("circuit too wide for dense verification")
-        perm = reversible.permutation()
-        unitary = circuit_unitary(quantum)
-        n = reversible.num_lines
-        for x in range(1 << n):
-            column = unitary[:, x]
-            index = int(np.argmax(np.abs(column)))
-            if (
-                abs(abs(column[index]) - 1.0) > 1e-9
-                or np.abs(column).sum() - abs(column[index]) > 1e-9
-                or index != perm(x)
-            ):
-                return f"equivalent: False (mismatch at input {x})"
+        failure = check_mapped_circuit(
+            quantum, reversible, max_qubits=quantum.num_qubits
+        )
+        if failure is not None:
+            return f"equivalent: False ({failure})"
         return "equivalent: True"
 
     def verify(self) -> str:

@@ -127,7 +127,7 @@ class NoisyBackend:
         Returns (mean probabilities, std deviations) as arrays indexed
         by outcome, mirroring the error bars of Fig. 6.
         """
-        dim = 1 << _num_measured_bits(circuit)
+        dim = 1 << _measured_width(circuit)
         probs = np.zeros((repetitions, dim))
         for rep in range(repetitions):
             # derive a distinct child seed per repetition
@@ -139,8 +139,3 @@ class NoisyBackend:
             for outcome, count in result.counts.items():
                 probs[rep, outcome] = count / shots
         return probs.mean(axis=0), probs.std(axis=0)
-
-
-def _num_measured_bits(circuit: QuantumCircuit) -> int:
-    bits = [g.cbits[0] for g in circuit.gates if g.is_measurement]
-    return (max(bits) + 1) if bits else circuit.num_qubits

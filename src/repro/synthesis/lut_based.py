@@ -80,6 +80,21 @@ def lut_synthesis_from_mapping(
     ancilla_budget: Optional[int] = None,
     effort: str = "medium",
 ) -> LutSynthesisResult:
+    """Run hierarchical (LHRS) synthesis over an existing LUT mapping.
+
+    Args:
+        mapped: the k-LUT network to turn into a reversible circuit.
+        num_outputs: how many of the network's roots are outputs.
+        strategy: ancilla discipline — ``"bennett"`` (uncompute at the
+            end) or ``"eager"`` (uncompute as soon as possible).
+        ancilla_budget: optional cap on simultaneously live ancillae;
+            raises :class:`AncillaBudgetError` when infeasible.
+        effort: pebbling effort for the eager strategy.
+
+    Returns:
+        A :class:`LutSynthesisResult` with the circuit and the
+        line/ancilla bookkeeping.
+    """
     if strategy not in ("bennett", "eager"):
         raise ValueError("strategy must be 'bennett' or 'eager'")
     n = mapped.num_inputs

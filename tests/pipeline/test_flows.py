@@ -1,0 +1,125 @@
+"""Preset flows must equal the hand-wired sequences gate-for-gate."""
+
+from repro.boolean.permutation import BitPermutation
+from repro.core.statistics import circuit_statistics
+from repro.mapping.barenco import map_to_clifford_t
+from repro.mapping.routing import CouplingMap, route_circuit
+from repro.optimization.simplify import cancel_adjacent_gates, simplify_reversible
+from repro.optimization.tpar import tpar_optimize
+from repro.pipeline import FlowState, Pipeline, flows
+from repro.revkit import RevKitShell, generators
+from repro.synthesis.transformation import transformation_based_synthesis
+
+PAPER_PI = BitPermutation([0, 2, 3, 5, 7, 1, 4, 6])
+
+
+def hand_wired_eq5(n=4):
+    """The pre-refactor Eq. (5) path: direct entry-point calls."""
+    perm = generators.hwb(n)
+    reversible = simplify_reversible(transformation_based_synthesis(perm))
+    mapped = map_to_clifford_t(reversible, relative_phase=True)
+    optimized = cancel_adjacent_gates(
+        tpar_optimize(cancel_adjacent_gates(mapped))
+    )
+    return perm, reversible, mapped, optimized
+
+
+class TestEq5Preset:
+    def test_matches_hand_wired_gate_for_gate(self):
+        perm, reversible, mapped, optimized = hand_wired_eq5()
+        result = flows.EQ5.run(pipeline=Pipeline(cache=None))
+        assert result.state.function == perm
+        assert result.reversible.gates == reversible.gates
+        assert result.quantum.gates == optimized.gates
+        assert result.record("rptm").after["t_count"] == mapped.t_count()
+
+    def test_shell_script_identical_stage_statistics(self):
+        """The Eq. (5) script through the pass manager reproduces the
+        pre-refactor per-stage outputs exactly."""
+        perm, reversible, mapped, optimized = hand_wired_eq5()
+        shell = RevKitShell(pipeline=Pipeline(cache=None))
+        outputs = shell.run("revgen --hwb 4; tbs; revsimp; rptm; tpar; ps -c")
+        tbs_count = len(transformation_based_synthesis(perm))
+        assert outputs[0] == "generated BitPermutation"
+        assert outputs[1] == f"{tbs_count} gates"
+        assert outputs[2] == f"{tbs_count} -> {len(reversible)} gates"
+        assert outputs[3] == (
+            f"{len(mapped)} gates, T={mapped.t_count()}, "
+            f"{mapped.num_qubits} qubits"
+        )
+        assert outputs[4] == f"T: {mapped.t_count()} -> {optimized.t_count()}"
+        assert outputs[5] == str(circuit_statistics(optimized))
+        assert shell.quantum.gates == optimized.gates
+
+    def test_shell_cached_rerun_identical_outputs(self):
+        """A cached re-run of the same script prints the same stages."""
+        pipeline = Pipeline(cache="shared")
+        script = "revgen --hwb 4; tbs; revsimp; rptm; tpar; ps -c"
+        first = RevKitShell(pipeline=Pipeline(cache=pipeline.cache)).run(script)
+        second = RevKitShell(pipeline=Pipeline(cache=pipeline.cache)).run(script)
+        assert first == second
+
+    def test_preset_timing_report_available(self):
+        result = flows.EQ5.run(pipeline=Pipeline(cache=None))
+        report = result.report()
+        assert "rptm" in report and "ms" in report
+
+
+class TestQsharpPreset:
+    def test_matches_hand_wired_gate_for_gate(self):
+        reversible = simplify_reversible(
+            transformation_based_synthesis(PAPER_PI)
+        )
+        expected = cancel_adjacent_gates(map_to_clifford_t(reversible))
+        result = flows.QSHARP.run(
+            FlowState(function=PAPER_PI), pipeline=Pipeline(cache=None)
+        )
+        assert result.quantum.gates == expected.gates
+
+
+class TestDevicePreset:
+    def test_matches_hand_wired_gate_for_gate(self):
+        reversible = transformation_based_synthesis(generators.hwb(3))
+        circuit = reversible.to_quantum_circuit()
+        work = cancel_adjacent_gates(circuit)
+        work = map_to_clifford_t(work)
+        work = cancel_adjacent_gates(tpar_optimize(work))
+        expected = route_circuit(work, CouplingMap.line(work.num_qubits))
+        flow = flows.device(CouplingMap.line(work.num_qubits))
+        result = flow.run(
+            FlowState(quantum=circuit), pipeline=Pipeline(cache=None)
+        )
+        assert result.quantum.gates == expected.circuit.gates
+        assert result.routing.swap_count == expected.swap_count
+
+    def test_default_preset_targets_bowtie_chip(self):
+        route = flows.DEVICE.passes[-1]
+        assert route.name == "route"
+        assert route.coupling.num_qubits == 5
+
+    def test_chained_after_eq5_keeps_optimized_quantum(self):
+        """Feeding an EQ5 result into the device flow must lower the
+        *current* quantum circuit on need — not re-map the stale
+        cascade still sitting in the store."""
+        eq5_result = flows.eq5(hwb=4).run(pipeline=Pipeline(cache=None))
+        width = eq5_result.quantum.num_qubits
+        result = flows.device(CouplingMap.line(width)).run(
+            eq5_result.state, pipeline=Pipeline(cache=None, verify=True)
+        )
+        rptm = result.record("rptm")
+        assert rptm.delta("gates") == 0  # nothing lowerable -> untouched
+        assert rptm.after["qubits"] == width
+
+
+class TestFlowRunArguments:
+    def test_pipeline_and_options_conflict(self):
+        import pytest
+
+        from repro.pipeline import PipelineError
+
+        with pytest.raises(PipelineError, match="not both"):
+            flows.EQ5.run(pipeline=Pipeline(cache=None), verify=True)
+
+    def test_eq5_name_shows_synthesis_variant(self):
+        assert "synthesis=dbs" in flows.eq5(hwb=4, synthesis="dbs").name
+        assert "synthesis" not in flows.eq5(hwb=4).name
