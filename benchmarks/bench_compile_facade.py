@@ -1,0 +1,123 @@
+"""Compiler facade overhead and sweep caching (PR 3).
+
+Two obligations of the `repro.compile()` front door:
+
+* **Overhead** — the facade (workload detection + target resolution +
+  result bundling) adds < 5% wall-clock over the hand-wired
+  `flows.eq5(...).run(...)` path it resolves to, measured cache-off so
+  the comparison is real compute on both sides.
+* **Sweep caching** — a `CompilerSession.sweep` over 8 parameter
+  points with the shared pass cache beats the same sweep cold
+  (cache=None), because repeated sub-flows (shared generation /
+  synthesis prefixes) replay instead of recompute; a repeated sweep
+  replays everything.
+
+Timing asserts are skipped on shared CI runners (`CI` env var) where
+timers are too noisy; CI still smokes both paths and uploads the
+`BENCH_compiler.json` baseline.
+"""
+
+import os
+import time
+
+from conftest import report
+
+import repro
+from repro.compiler import CompilerSession
+from repro.pipeline import PassCache, Pipeline, flows
+
+SWEEP_GRID = {
+    "hwb": [3, 4],
+    "synthesis": ["tbs", "tbs-bidir"],
+    "optimization_level": [1, 2],
+}
+
+
+def _best_of(fn, rounds=5):
+    """Return the best wall-clock of ``rounds`` runs of ``fn``."""
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_facade():
+    return repro.compile({"hwb": 4}, target="clifford_t", cache=None)
+
+
+def run_hand_wired():
+    return flows.eq5(hwb=4).run(pipeline=Pipeline(cache=None))
+
+
+def test_facade_overhead(benchmark):
+    facade = benchmark(run_facade)
+    direct = run_hand_wired()
+    assert facade.circuit.gates == direct.quantum.gates
+
+    facade_s = _best_of(run_facade)
+    direct_s = _best_of(run_hand_wired)
+    overhead = facade_s / direct_s - 1.0
+
+    report(
+        "compile() facade vs hand-wired flows.eq5",
+        [
+            ("hand-wired best", f"{direct_s * 1e3:.2f}ms"),
+            ("facade best", f"{facade_s * 1e3:.2f}ms"),
+            ("overhead", f"{overhead * 100:+.2f}%"),
+            ("gate-for-gate", facade.circuit.gates == direct.quantum.gates),
+        ],
+    )
+    if benchmark.enabled and not os.environ.get("CI"):
+        assert overhead < 0.05, (
+            f"facade overhead {overhead * 100:.2f}% exceeds 5%"
+        )
+
+
+def run_sweep_cold():
+    session = CompilerSession(cache=None, max_workers=1)
+    return session.sweep(SWEEP_GRID)
+
+
+def test_sweep_with_cache_vs_cold(benchmark):
+    cold_s = _best_of(run_sweep_cold, rounds=3)
+
+    def run_sweep_cached():
+        session = CompilerSession(cache=PassCache(), max_workers=1)
+        first = session.sweep(SWEEP_GRID)
+        second = session.sweep(SWEEP_GRID)
+        return first, second, session
+
+    (first, second, session) = benchmark(run_sweep_cached)
+    warm_started = time.perf_counter()
+    repeat = session.sweep(SWEEP_GRID)
+    warm_s = time.perf_counter() - warm_started
+
+    assert len(first) == 8
+    # >= 1 cache hit per repeated sub-flow: after the first point of
+    # each hwb size, the generation stage always replays
+    assert first.cache_hits >= len(first) - 2
+    # a repeated sweep replays every pass of every point
+    assert all(
+        point.result.cache_hits == len(point.result.records)
+        for point in second
+    )
+    for cold_point, cached_point in zip(run_sweep_cold(), second):
+        assert (
+            cold_point.result.circuit.gates
+            == cached_point.result.circuit.gates
+        )
+
+    report(
+        "CompilerSession.sweep: 8 points, shared cache vs cold",
+        [
+            ("cold sweep best", f"{cold_s * 1e3:.2f}ms"),
+            ("warm (all-replay) sweep", f"{warm_s * 1e3:.2f}ms"),
+            ("speedup", f"{cold_s / warm_s:.1f}x"),
+            ("first-sweep cache hits", first.cache_hits),
+            ("cache stats", session.cache_stats()),
+        ],
+    )
+    if benchmark.enabled and not os.environ.get("CI"):
+        assert warm_s < cold_s, "cached sweep should beat cold sweep"

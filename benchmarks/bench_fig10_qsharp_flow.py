@@ -94,12 +94,17 @@ def test_fig10_synthesis_choices(benchmark):
         synthesis back-ends must produce valid, equivalent Q# oracles
         (compiled under the pass manager's fail-fast verification)."""
         rows = []
+        from repro.compiler import targets
+
         for name, synth in (
             ("tbs (default)", None),
             ("dbs", decomposition_based_synthesis),
         ):
+            target = targets.QSHARP
+            if synth is not None:
+                target = target.with_(synthesis=synth)
             operation = permutation_oracle_operation(
-                PAPER_PI, synth=synth,
+                PAPER_PI, target=target,
                 pipeline=Pipeline(cache=None, verify=True),
             )
             parsed = parse_operation_body(

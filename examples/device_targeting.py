@@ -68,6 +68,16 @@ def main():
     run_on(backend)
     print(draw_circuit(backend.compiled_circuit))
 
+    # the backend dispatches through repro.compile(); the same chain
+    # is available directly from the front door, QASM included
+    import repro
+
+    result = repro.compile(backend.compiled_circuit, target="ibm_qe5")
+    print("\nrepro.compile(circuit, target='ibm_qe5'):")
+    print("  " + result.summary())
+    print("  first QASM lines: "
+          + " / ".join(result.to_qasm().splitlines()[:4]))
+
 
 if __name__ == "__main__":
     main()

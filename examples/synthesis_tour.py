@@ -136,9 +136,34 @@ def pipeline_demo():
         )
 
 
+def facade_demo():
+    print("\n== one front door: repro.compile() + a synthesis sweep ==")
+    import repro
+    from repro.pipeline import PassCache
+
+    perm = BitPermutation([0, 2, 3, 5, 7, 1, 4, 6])
+    result = repro.compile(perm, target="qsharp", cache=None)
+    print(f"  repro.compile(pi, target='qsharp'): {result.summary()}")
+
+    session = repro.CompilerSession(cache=PassCache(), max_workers=1)
+    sweep = session.sweep(
+        {"synthesis": ["tbs", "tbs-bidir", "dbs"],
+         "optimization_level": [1, 2]},
+        base=perm,
+    )
+    for line in sweep.table("t_count").splitlines():
+        print("    " + line)
+    best = sweep.best("t_count")
+    print(
+        f"  best T-count: {best.params} "
+        f"(cache hits across the sweep: {sweep.cache_hits})"
+    )
+
+
 if __name__ == "__main__":
     reversible_portfolio()
     irreversible_portfolio()
     embedding_demo()
     mapping_demo()
     pipeline_demo()
+    facade_demo()

@@ -24,6 +24,12 @@ Subpackages
     The pass manager: a unified compilation pipeline with per-pass
     statistics, result caching, verification, and the paper's flow
     presets (``flows.EQ5``, ``flows.QSHARP``, ``flows.DEVICE``).
+``repro.compiler``
+    The compiler facade: ``repro.compile(workload, target=...)``
+    normalizes any workload shape, resolves a ``Target`` preset to a
+    pass sequence, and returns a ``CompilationResult`` with lazy
+    QASM/Q#/ProjectQ emission; ``CompilerSession`` batches
+    compilations and parameter sweeps over a shared pass cache.
 ``repro.frameworks``
     ProjectQ-compatible eDSL and Q# code generation.
 ``repro.revkit``
@@ -39,6 +45,7 @@ from . import (
     algorithms,
     arith,
     boolean,
+    compiler,
     core,
     mapping,
     optimization,
@@ -47,11 +54,19 @@ from . import (
     simulator,
     synthesis,
 )
+from .compiler import (
+    CompilationResult,
+    CompilerSession,
+    Target,
+    compile,
+    targets,
+)
 
 __all__ = [
     "algorithms",
     "arith",
     "boolean",
+    "compiler",
     "core",
     "mapping",
     "optimization",
@@ -59,5 +74,10 @@ __all__ = [
     "revkit",
     "simulator",
     "synthesis",
+    "CompilationResult",
+    "CompilerSession",
+    "Target",
+    "compile",
+    "targets",
     "__version__",
 ]

@@ -1,0 +1,207 @@
+"""Command-line front door: ``python -m repro compile ...``.
+
+Runs the paper's Eq. (5) story from the shell without the REPL:
+
+.. code-block:: console
+
+    $ python -m repro compile hwb=4 --target clifford_t --stats --report
+    $ python -m repro compile '(a and b) ^ (c and d)' --emit qasm
+    $ python -m repro compile perm:0,2,3,5,7,1,4,6 --target qsharp \
+          --emit qsharp
+    $ python -m repro targets
+
+Workload argument forms:
+
+* a revgen generator spec — ``hwb=4``, ``adder=4,const=3``;
+* a Boolean expression — ``'(a and b) ^ (c and d)'``;
+* ``perm:0,2,3,...`` — a permutation image;
+* ``tt:<nvars>:<hexbits>`` — an explicit truth table;
+* a path to an ``.qasm`` circuit or a ``.json`` workload file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any
+
+from .compiler import (
+    NAMED_FLOWS,
+    compile as compile_workload,
+    get_target,
+    list_targets,
+)
+from .pipeline.state import PipelineError
+
+
+def _load_workload(spec: str) -> Any:
+    """Translate the CLI workload argument into a workload object."""
+    if spec == "-":
+        # empty seed: the explicit --flow generates its own input
+        return None
+    if os.path.exists(spec):
+        if spec.endswith(".qasm"):
+            from .core.qasm import from_qasm
+
+            with open(spec) as stream:
+                return from_qasm(stream.read())
+        if spec.endswith(".json"):
+            with open(spec) as stream:
+                return json.load(stream)
+        raise SystemExit(
+            f"error: workload file {spec!r} must end in .qasm or .json"
+        )
+    if spec.startswith("perm:"):
+        from .boolean.permutation import BitPermutation
+
+        image = [int(v) for v in spec[len("perm:"):].split(",")]
+        return BitPermutation(image)
+    if spec.startswith("tt:"):
+        from .boolean.truth_table import TruthTable
+
+        try:
+            _, num_vars, hexbits = spec.split(":")
+        except ValueError:
+            raise SystemExit(
+                "error: truth-table workload must be tt:<nvars>:<hexbits>"
+            ) from None
+        return TruthTable.from_hex(int(num_vars), hexbits)
+    return spec
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    """Run the ``compile`` subcommand."""
+    try:
+        workload = _load_workload(args.workload)
+        result = compile_workload(
+            workload,
+            target=args.target,
+            flow=args.flow,
+            verify=args.verify,
+            cache=args.cache_dir if args.cache_dir else "shared",
+        )
+    except (PipelineError, TypeError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    out = sys.stdout
+    try:
+        if args.emit:
+            info = sys.stderr
+            print(result.emit(args.emit), file=out, end="")
+        else:
+            info = out
+            print(result.summary(), file=info)
+        if args.report:
+            print(result.report(), file=info)
+        if args.stats:
+            stats = result.statistics
+            if stats is None and result.circuit is not None:
+                from .core.statistics import circuit_statistics
+
+                stats = circuit_statistics(result.circuit)
+            if stats is not None:
+                print(stats, file=info)
+            else:
+                metrics = ", ".join(
+                    f"{k}={v}" for k, v in sorted(result.metrics().items())
+                )
+                print(metrics or "(no metrics)", file=info)
+    except PipelineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_targets(_args: argparse.Namespace) -> int:
+    """Run the ``targets`` subcommand (list registered presets)."""
+    names = list_targets()
+    width = max(len(name) for name in names)
+    for name in names:
+        target = get_target(name)
+        extras = [f"level={target.optimization_level}"]
+        if target.coupling is not None:
+            extras.append("routed")
+        if target.emitter:
+            extras.append(f"emit={target.emitter}")
+        print(
+            f"{name:<{width}}  {target.description}"
+            f"  [{', '.join(extras)}]"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="repro compiler facade (Soeken/Haener/Roetteler, "
+        "DATE 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    cmd = sub.add_parser(
+        "compile",
+        help="compile a workload for a target (the one front door)",
+    )
+    cmd.add_argument(
+        "workload",
+        help="generator spec (hwb=4), Boolean expression, "
+        "perm:..., tt:<n>:<hex>, a .qasm/.json file, or '-' for an "
+        "empty seed when --flow generates its own input",
+    )
+    cmd.add_argument(
+        "--target",
+        default=None,
+        help=f"target preset ({', '.join(list_targets())}); "
+        "default clifford_t",
+    )
+    cmd.add_argument(
+        "--flow",
+        default=None,
+        choices=sorted(NAMED_FLOWS),
+        help="explicit flow preset overriding target resolution",
+    )
+    cmd.add_argument(
+        "--verify",
+        action="store_true",
+        help="fail-fast functional verification of every pass",
+    )
+    cmd.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the final circuit statistics (ps -c)",
+    )
+    cmd.add_argument(
+        "--report",
+        action="store_true",
+        help="print the per-pass timing/delta table",
+    )
+    cmd.add_argument(
+        "--emit",
+        default=None,
+        choices=("qasm", "qsharp", "projectq"),
+        help="print the compiled circuit in this format on stdout",
+    )
+    cmd.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent pass-cache directory (reused across runs)",
+    )
+    cmd.set_defaults(func=_cmd_compile)
+
+    lst = sub.add_parser("targets", help="list registered target presets")
+    lst.set_defaults(func=_cmd_targets)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

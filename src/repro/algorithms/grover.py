@@ -14,7 +14,6 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Optional, Union
 
-from ..boolean.expression import predicate_to_truth_table
 from ..boolean.truth_table import TruthTable
 from ..core.circuit import QuantumCircuit
 from ..simulator.statevector import StatevectorSimulator
@@ -87,11 +86,17 @@ def solve_grover(
     iterations: Optional[int] = None,
     seed: Optional[int] = None,
 ) -> GroverResult:
-    """Search for an input satisfying ``predicate``."""
-    if isinstance(predicate, TruthTable):
-        table = predicate
-    else:
-        table = predicate_to_truth_table(predicate, num_vars)
+    """Search for an input satisfying ``predicate``.
+
+    The predicate is normalized through the compiler facade's
+    frontend layer, so any function-shaped workload
+    :func:`repro.compile` accepts works here too: a truth table, a
+    Python predicate, a Boolean expression string, an ESOP cube list,
+    or a ``(Bdd, node)`` pair.
+    """
+    from ..compiler.frontends import as_truth_table
+
+    table = as_truth_table(predicate, num_vars)
     if table.bits == 0:
         raise ValueError("predicate has no satisfying assignment")
     if iterations is None:

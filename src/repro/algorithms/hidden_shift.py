@@ -34,11 +34,35 @@ from ..frameworks.projectq.oracles import (
     phase_oracle_gates,
 )
 from ..simulator.statevector import StatevectorSimulator
-from ..synthesis.decomposition import decomposition_based_synthesis
 from ..synthesis.reversible import ReversibleCircuit
-from ..synthesis.transformation import transformation_based_synthesis
 
 SynthesisFn = Callable[[BitPermutation], ReversibleCircuit]
+
+
+def _synthesize_permutation(
+    permutation: BitPermutation,
+    synth: Optional[SynthesisFn],
+    default: str,
+) -> ReversibleCircuit:
+    """Synthesize an oracle permutation through the compiler facade.
+
+    With no explicit ``synth`` callable the cascade is compiled via
+    ``repro.compile`` at the raw reversible level (no simplification),
+    which is gate-for-gate what calling the synthesis entry point
+    directly produced — but repeated oracle builds for the same
+    permutation now replay from the shared pass cache.
+    """
+    if synth is not None:
+        return synth(permutation)
+    from ..compiler import compile as facade_compile, targets
+
+    result = facade_compile(
+        permutation,
+        target=targets.TOFFOLI.with_(
+            optimization_level=0, synthesis=default
+        ),
+    )
+    return result.reversible
 
 
 @dataclass
@@ -130,8 +154,7 @@ def _mm_shifted_oracle(
     half = mm.half_vars
     x_wires = list(range(half))
     y_wires = list(range(half, 2 * half))
-    synthesize = synth if synth is not None else transformation_based_synthesis
-    perm_circuit = synthesize(mm.pi)
+    perm_circuit = _synthesize_permutation(mm.pi, synth, "tbs")
     all_wires = x_wires + y_wires
 
     _x_layer(circuit, instance.shift, all_wires)
@@ -163,11 +186,7 @@ def _mm_dual_oracle(
     half = mm.half_vars
     x_wires = list(range(half))
     y_wires = list(range(half, 2 * half))
-    synthesize = (
-        inverse_synth if inverse_synth is not None
-        else decomposition_based_synthesis
-    )
-    perm_circuit = synthesize(mm.pi)
+    perm_circuit = _synthesize_permutation(mm.pi, inverse_synth, "dbs")
     inverse_gates = list(
         reversed(permutation_oracle_gates(perm_circuit, x_wires))
     )

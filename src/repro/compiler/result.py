@@ -1,0 +1,275 @@
+"""Compilation results: final artifacts, per-pass records, emission.
+
+:class:`CompilationResult` is what :func:`repro.compile` returns — the
+final :class:`~repro.pipeline.state.FlowState`, the per-pass
+:class:`~repro.pipeline.runner.PassRecord` list with timing and
+gate/T-count deltas, and lazy emitters (:meth:`~CompilationResult.to_qasm`,
+:meth:`~CompilationResult.to_qsharp`,
+:meth:`~CompilationResult.to_projectq`) that render the compiled
+circuit in the target's output format on first use and cache the text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..core.circuit import QuantumCircuit
+from ..core.statistics import CircuitStatistics
+from ..pipeline.flows import Flow
+from ..pipeline.runner import PassRecord, format_records, state_metrics
+from ..pipeline.state import FlowState, PipelineError
+from .frontends import Workload
+from .target import Target
+
+
+class EmissionError(PipelineError):
+    """Raised when a result cannot be rendered in the asked format."""
+
+
+#: ProjectQ eDSL operator per core gate name (single target, no
+#: controls unless noted).
+_PROJECTQ_OPS = {
+    "h": "H",
+    "x": "X",
+    "y": "Y",
+    "z": "Z",
+    "s": "S",
+    "sdg": "Sdag",
+    "t": "T",
+    "tdg": "Tdag",
+}
+_PROJECTQ_ROTATIONS = {"rx": "Rx", "ry": "Ry", "rz": "Rz", "p": "Ph"}
+
+
+def _gate_to_projectq(gate) -> str:
+    """Render one core gate as a ProjectQ eDSL statement."""
+    name, controls, targets = gate.name, gate.controls, gate.targets
+    if name == "barrier":
+        return ""
+    if name == "measure":
+        return f"Measure | q[{targets[0]}]"
+    if name in _PROJECTQ_OPS and not controls:
+        return f"{_PROJECTQ_OPS[name]} | q[{targets[0]}]"
+    if name in _PROJECTQ_ROTATIONS and not controls:
+        op = _PROJECTQ_ROTATIONS[name]
+        return f"{op}({gate.params[0]!r}) | q[{targets[0]}]"
+    if name == "cx":
+        return f"CNOT | (q[{controls[0]}], q[{targets[0]}])"
+    if name == "cz":
+        return f"CZ | (q[{controls[0]}], q[{targets[0]}])"
+    if name == "ccx":
+        return (
+            f"Toffoli | (q[{controls[0]}], q[{controls[1]}], "
+            f"q[{targets[0]}])"
+        )
+    if name == "swap":
+        return f"Swap | (q[{targets[0]}], q[{targets[1]}])"
+    raise EmissionError(
+        f"gate {name!r} (controls={controls}) has no ProjectQ eDSL form"
+    )
+
+
+@dataclass
+class CompilationResult:
+    """What one :func:`repro.compile` call produced.
+
+    Attributes:
+        workload: the normalized input workload.
+        target: the resolved target (``None`` for flow-only calls).
+        flow: the flow that actually executed.
+        state: the final flow store.
+        records: per-pass execution records, in order.
+    """
+
+    workload: Workload
+    target: Optional[Target]
+    flow: Flow
+    state: FlowState
+    records: List[PassRecord]
+    _emitted: Dict[str, str] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    # ------------------------------------------------------------------
+    @property
+    def circuit(self) -> Optional[QuantumCircuit]:
+        """Return the final quantum circuit (or ``None``)."""
+        return self.state.quantum
+
+    @property
+    def reversible(self):
+        """Return the final reversible cascade (or ``None``)."""
+        return self.state.reversible
+
+    @property
+    def routing(self):
+        """Return the routing bookkeeping (or ``None``)."""
+        return self.state.routing
+
+    @property
+    def statistics(self) -> Optional[CircuitStatistics]:
+        """Return the ``ps`` statistics bundle when collected."""
+        return self.state.artifacts.get("statistics")
+
+    @property
+    def total_seconds(self) -> float:
+        """Return the summed wall-clock time of all passes."""
+        return sum(record.seconds for record in self.records)
+
+    @property
+    def cache_hits(self) -> int:
+        """Return how many passes replayed cached results."""
+        return sum(1 for record in self.records if record.cache_hit)
+
+    def metrics(self) -> Dict[str, Any]:
+        """Return the cost metrics of the final store.
+
+        Returns:
+            The :func:`~repro.pipeline.runner.state_metrics` dict of
+            the final state (``gates``, ``t_count``, ...).
+        """
+        return state_metrics(self.state)
+
+    def record(self, name: str) -> PassRecord:
+        """Return the first record of the pass called ``name``.
+
+        Args:
+            name: the pass name to look up.
+
+        Returns:
+            The matching :class:`~repro.pipeline.runner.PassRecord`.
+
+        Raises:
+            KeyError: if no pass of that name ran.
+        """
+        for record in self.records:
+            if record.name == name:
+                return record
+        raise KeyError(name)
+
+    def report(self) -> str:
+        """Format the per-pass records as an aligned text table."""
+        return format_records(self.records)
+
+    def summary(self) -> str:
+        """Return a one-line workload/target/cost summary."""
+        target = self.target.name if self.target is not None else "-"
+        parts = [
+            f"workload={self.workload.description}",
+            f"target={target}",
+            f"passes={len(self.records)}",
+            f"cached={self.cache_hits}",
+        ]
+        metrics = self.metrics()
+        for key in ("mct_gates", "gates", "t_count", "qubits"):
+            if key in metrics:
+                parts.append(f"{key}={metrics[key]}")
+        return "  ".join(parts)
+
+    # ------------------------------------------------------------------
+    # lazy emission
+    # ------------------------------------------------------------------
+    def _require_circuit(self, format_name: str) -> QuantumCircuit:
+        """Return the final quantum circuit or raise for emission."""
+        if self.state.quantum is None:
+            raise EmissionError(
+                f"cannot emit {format_name}: the flow produced no "
+                "quantum circuit (reversible-level target?)"
+            )
+        return self.state.quantum
+
+    def to_qasm(self) -> str:
+        """Render the compiled circuit as OpenQASM 2.0 (cached).
+
+        Returns:
+            The OpenQASM source text.
+        """
+        if "qasm" not in self._emitted:
+            self._emitted["qasm"] = self._require_circuit("qasm").to_qasm()
+        return self._emitted["qasm"]
+
+    def to_qsharp(self, name: str = "CompiledOperation") -> str:
+        """Render the compiled circuit as a Q# operation (cached).
+
+        Args:
+            name: the Q# operation name to emit.
+
+        Returns:
+            The Q# source text (Fig. 10 shape).
+        """
+        key = f"qsharp:{name}"
+        if key not in self._emitted:
+            from ..frameworks.qsharp import operation_from_circuit
+
+            circuit = self._require_circuit("qsharp")
+            self._emitted[key] = operation_from_circuit(name, circuit).code
+        return self._emitted[key]
+
+    def to_projectq(self) -> str:
+        """Render the compiled circuit as a ProjectQ eDSL script (cached).
+
+        Returns:
+            Python source that replays the circuit through
+            :mod:`repro.frameworks.projectq`.
+        """
+        if "projectq" not in self._emitted:
+            circuit = self._require_circuit("projectq")
+            statements = [
+                _gate_to_projectq(gate)
+                for gate in circuit.gates
+                if gate.name != "barrier"
+            ]
+            ops = sorted(
+                {s.split(" ", 1)[0].partition("(")[0] for s in statements}
+                | {"MainEngine"}
+            )
+            lines = [
+                f'"""ProjectQ replay of circuit {circuit.name!r} '
+                '(generated by repro.compile)."""',
+                "",
+                "from repro.frameworks.projectq import (",
+            ]
+            lines.extend(f"    {op}," for op in ops)
+            lines.append(")")
+            lines.append("")
+            lines.append("eng = MainEngine()")
+            lines.append(
+                f"q = eng.allocate_qureg({circuit.num_qubits})"
+            )
+            lines.extend(s for s in statements if s)
+            lines.append("eng.flush()")
+            self._emitted["projectq"] = "\n".join(lines) + "\n"
+        return self._emitted["projectq"]
+
+    def emit(self, format: Optional[str] = None) -> str:
+        """Render in the given (or the target's default) format.
+
+        Args:
+            format: ``qasm``, ``qsharp`` or ``projectq``; defaults to
+                the target's ``emitter``.
+
+        Returns:
+            The emitted source text.
+
+        Raises:
+            EmissionError: when no format is given and the target has
+                no default emitter, or the format is unknown.
+        """
+        if format is None:
+            format = self.target.emitter if self.target else None
+        if format is None:
+            raise EmissionError(
+                "no emission format: pass format= or compile for a "
+                "target with an emitter (qasm / qsharp / projectq)"
+            )
+        if format == "qasm":
+            return self.to_qasm()
+        if format == "qsharp":
+            return self.to_qsharp()
+        if format == "projectq":
+            return self.to_projectq()
+        raise EmissionError(
+            f"unknown emission format {format!r}; expected qasm, "
+            "qsharp or projectq"
+        )

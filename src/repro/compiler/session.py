@@ -1,0 +1,475 @@
+"""The compile facade and batched compilation sessions.
+
+:func:`compile` is the library's one front door: normalize any
+workload shape (:mod:`~.frontends`), resolve a :class:`~.target.Target`
+to a concrete flow, execute it on the pass manager, and hand back a
+:class:`~.result.CompilationResult`.
+
+:class:`CompilerSession` amortizes many compilations:
+:meth:`~CompilerSession.compile_many` fans workloads out over a
+thread (or process) pool, and :meth:`~CompilerSession.sweep` expands a
+parameter grid into compilation points — all sharing one
+:class:`~repro.pipeline.cache.PassCache` (optionally disk-backed via
+``cache=<path>``), so repeated sub-flows replay instead of recompute.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..pipeline.cache import PassCache, shared_cache
+from ..pipeline.flows import DEVICE, EQ5, QSHARP as QSHARP_FLOW, Flow
+from ..pipeline.passes import GENERATOR_KINDS
+from ..pipeline.runner import Pipeline
+from ..pipeline.state import PipelineError
+from .frontends import Workload, detect_workload
+from .result import CompilationResult
+from .target import Target, get_target
+
+#: Named flows accepted wherever a ``flow=`` argument takes a string.
+NAMED_FLOWS: Dict[str, Flow] = {
+    "eq5": EQ5,
+    "qsharp": QSHARP_FLOW,
+    "device": DEVICE,
+}
+
+#: Sweep parameter keys that derive a per-point target override.
+_TARGET_FIELDS = tuple(
+    f.name for f in dataclass_fields(Target) if f.name != "name"
+)
+
+#: Generator option keys accepted alongside a family key in sweeps.
+_GENERATOR_OPTION_KEYS = ("seed", "const", "amount")
+
+
+def _resolve_flow(flow: Union[Flow, str, None]) -> Optional[Flow]:
+    """Map a flow argument (object or preset name) to a Flow."""
+    if flow is None or isinstance(flow, Flow):
+        return flow
+    preset = NAMED_FLOWS.get(str(flow).lower())
+    if preset is None:
+        raise PipelineError(
+            f"unknown flow {flow!r}; named flows: "
+            f"{', '.join(NAMED_FLOWS)}"
+        )
+    return preset
+
+
+def _resolve_cache(
+    cache: Union[PassCache, str, os.PathLike, None]
+) -> Optional[PassCache]:
+    """Map a cache argument to a PassCache instance (or ``None``).
+
+    ``"shared"`` selects the process-wide cache; any other string or
+    path selects a disk-backed cache rooted there.
+    """
+    if cache is None or isinstance(cache, PassCache):
+        return cache
+    if cache == "shared":
+        return shared_cache()
+    return PassCache(path=os.fspath(cache))
+
+
+def compile(
+    workload: Any,
+    target: Union[Target, str, None] = None,
+    flow: Union[Flow, str, None] = None,
+    verify: bool = False,
+    cache: Union[PassCache, str, None] = "shared",
+    pipeline: Optional[Pipeline] = None,
+) -> CompilationResult:
+    """Compile any workload for a target — the one front door.
+
+    Normalizes the workload (:func:`~.frontends.detect_workload`),
+    resolves the target to a pass sequence
+    (:meth:`~.target.Target.flow`, unless an explicit ``flow`` is
+    given), executes it on the pass manager, and returns the bundled
+    result.
+
+    Args:
+        workload: anything :func:`~.frontends.detect_workload`
+            accepts — specification, predicate, expression string,
+            generator spec, circuit, or ``None`` with an explicit
+            ``flow=`` that generates its own input.
+        target: a :class:`~.target.Target`, a registered target name,
+            or ``None`` for the default (``clifford_t``).
+        flow: explicit :class:`~repro.pipeline.flows.Flow` (or preset
+            name ``eq5``/``qsharp``/``device``) overriding target
+            resolution.
+        verify: fail-fast functional verification of every pass.
+        cache: a :class:`~repro.pipeline.cache.PassCache`,
+            ``"shared"`` (default) for the process-wide cache, a
+            directory path for a disk-backed cache, or ``None``.
+        pipeline: explicit pass-manager runner; overrides ``verify``
+            and ``cache``.
+
+    Returns:
+        The :class:`~.result.CompilationResult` with the final
+        circuit, per-pass records and lazy emitters.
+    """
+    normalized = detect_workload(workload)
+    resolved_target = get_target(target)
+    resolved_flow = _resolve_flow(flow)
+    if resolved_flow is None:
+        resolved_flow = resolved_target.flow(normalized)
+    else:
+        # an explicit flow runs as-is; refuse combinations where it
+        # would silently discard the workload instead of compiling it
+        if normalized.prelude:
+            raise PipelineError(
+                f"workload {normalized.description} carries its own "
+                f"generator pass, which flow {resolved_flow.name!r} "
+                "would not run; drop flow= (let the target resolve "
+                "it) or pass workload=None"
+            )
+        seeded = any(
+            getattr(normalized.state, field) is not None
+            for field in ("function", "reversible", "quantum")
+        )
+        if seeded and any(
+            "function" in pass_.writes for pass_ in resolved_flow.passes
+        ):
+            raise PipelineError(
+                f"flow {resolved_flow.name!r} generates its own "
+                "specification and would overwrite or ignore workload "
+                f"{normalized.description}; drop flow= or pass "
+                "workload=None"
+            )
+    if pipeline is None:
+        pipeline = Pipeline(verify=verify, cache=_resolve_cache(cache))
+    outcome = resolved_flow.run(
+        normalized.state.copy(), pipeline=pipeline
+    )
+    return CompilationResult(
+        workload=normalized,
+        target=resolved_target,
+        flow=resolved_flow,
+        state=outcome.state,
+        records=outcome.records,
+    )
+
+
+# ----------------------------------------------------------------------
+# batched sessions
+# ----------------------------------------------------------------------
+@dataclass
+class SweepPoint:
+    """One grid point: the parameter assignment and its result."""
+
+    params: Dict[str, Any]
+    result: CompilationResult
+
+
+@dataclass
+class SweepResult:
+    """All points of one parameter sweep, in deterministic grid order."""
+
+    points: List[SweepPoint]
+
+    def __len__(self) -> int:
+        """Return the number of swept points."""
+        return len(self.points)
+
+    def __iter__(self):
+        """Iterate over the :class:`SweepPoint` entries."""
+        return iter(self.points)
+
+    @property
+    def cache_hits(self) -> int:
+        """Return the summed per-pass cache hits across all points."""
+        return sum(point.result.cache_hits for point in self.points)
+
+    def best(self, metric: str = "t_count") -> SweepPoint:
+        """Return the point minimizing a final-state metric.
+
+        Args:
+            metric: a :func:`~repro.pipeline.runner.state_metrics`
+                key (``t_count``, ``gates``, ``mct_gates``, ...).
+
+        Returns:
+            The minimizing :class:`SweepPoint`.
+
+        Raises:
+            PipelineError: when no point reports the metric.
+        """
+        scored = [
+            (point.result.metrics().get(metric), point)
+            for point in self.points
+        ]
+        scored = [(value, point) for value, point in scored if value is not None]
+        if not scored:
+            raise PipelineError(
+                f"no sweep point reports metric {metric!r}"
+            )
+        return min(scored, key=lambda pair: pair[0])[1]
+
+    def table(self, metric: str = "t_count") -> str:
+        """Format the sweep as an aligned params/metric text table."""
+        lines = []
+        for point in self.points:
+            params = ", ".join(
+                f"{k}={v}" for k, v in sorted(point.params.items())
+            )
+            value = point.result.metrics().get(metric)
+            lines.append(f"{params:<48} {metric}={value}")
+        return "\n".join(lines)
+
+
+def _compile_task(task: Tuple) -> CompilationResult:
+    """Process-pool entry: re-resolve the cache path and compile."""
+    workload, target, flow, verify, cache_spec = task
+    return compile(
+        workload, target=target, flow=flow, verify=verify, cache=cache_spec
+    )
+
+
+class CompilerSession:
+    """Batched compilations over a shared pass cache.
+
+    Args:
+        target: session default target (name or
+            :class:`~.target.Target`); ``None`` keeps the library
+            default.
+        flow: session default flow override.
+        verify: fail-fast functional verification of every pass.
+        cache: ``"shared"`` (default), a
+            :class:`~repro.pipeline.cache.PassCache`, a directory
+            path for a disk-backed cache, or ``None``.
+        max_workers: pool size for batched calls (``None`` lets the
+            executor decide).
+        executor: ``"thread"`` (default; shares the in-memory cache)
+            or ``"process"`` (requires picklable workloads; share
+            results across processes via a disk-backed ``cache=``
+            path).
+    """
+
+    def __init__(
+        self,
+        target: Union[Target, str, None] = None,
+        flow: Union[Flow, str, None] = None,
+        verify: bool = False,
+        cache: Union[PassCache, str, None] = "shared",
+        max_workers: Optional[int] = None,
+        executor: str = "thread",
+    ) -> None:
+        """Resolve the session defaults and the shared cache."""
+        if executor not in ("thread", "process"):
+            raise PipelineError(
+                f"unknown executor {executor!r}; expected 'thread' or "
+                "'process'"
+            )
+        self.target = get_target(target) if target is not None else None
+        self.flow = _resolve_flow(flow)
+        self.verify = verify
+        self.cache = _resolve_cache(cache)
+        self.max_workers = max_workers
+        self.executor = executor
+        # what a process-pool task carries to rebuild the cache in the
+        # worker: a disk path (shared tier) or "shared"/None; a purely
+        # in-memory PassCache cannot cross the process boundary
+        if self.cache is not None and self.cache.path is not None:
+            self._cache_spec: Union[PassCache, str, None] = self.cache.path
+        elif isinstance(cache, PassCache) and executor == "process":
+            raise PipelineError(
+                "executor='process' cannot share an in-memory "
+                "PassCache across workers; pass cache=<directory path> "
+                "for a disk-backed cache (or cache='shared' for "
+                "independent per-worker caches)"
+            )
+        else:
+            self._cache_spec = cache
+
+    # ------------------------------------------------------------------
+    def compile(
+        self,
+        workload: Any,
+        target: Union[Target, str, None] = None,
+        flow: Union[Flow, str, None] = None,
+    ) -> CompilationResult:
+        """Compile one workload with the session's defaults.
+
+        Args:
+            workload: any supported workload shape.
+            target: per-call target override.
+            flow: per-call flow override.
+
+        Returns:
+            The :class:`~.result.CompilationResult`.
+        """
+        return compile(
+            workload,
+            target=target if target is not None else self.target,
+            flow=flow if flow is not None else self.flow,
+            verify=self.verify,
+            cache=self.cache,
+        )
+
+    def _run_batch(
+        self,
+        tasks: List[Tuple[Any, Union[Target, str, None], Union[Flow, None]]],
+    ) -> List[CompilationResult]:
+        """Fan a list of (workload, target, flow) tasks over the pool.
+
+        Results come back in task order regardless of completion
+        order, so batched runs are deterministic.
+        """
+        if not tasks:
+            return []
+        if len(tasks) == 1:
+            workload, target, flow = tasks[0]
+            return [self.compile(workload, target=target, flow=flow)]
+        if self.executor == "process":
+            payload = [
+                (w, t, f, self.verify, self._cache_spec)
+                for w, t, f in tasks
+            ]
+            with ProcessPoolExecutor(
+                max_workers=self.max_workers
+            ) as pool:
+                return list(pool.map(_compile_task, payload))
+        max_workers = self.max_workers or min(len(tasks), 8)
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(
+                pool.map(
+                    lambda task: self.compile(
+                        task[0], target=task[1], flow=task[2]
+                    ),
+                    tasks,
+                )
+            )
+
+    def compile_many(
+        self,
+        workloads: Sequence[Any],
+        target: Union[Target, str, None] = None,
+        flow: Union[Flow, str, None] = None,
+    ) -> List[CompilationResult]:
+        """Compile a batch of workloads over the session's pool.
+
+        Results are returned in workload order regardless of
+        completion order, so batched runs are deterministic.
+
+        Args:
+            workloads: the workload batch.
+            target: per-batch target override.
+            flow: per-batch flow override.
+
+        Returns:
+            One :class:`~.result.CompilationResult` per workload, in
+            input order.
+        """
+        target = target if target is not None else self.target
+        flow = flow if flow is not None else self.flow
+        return self._run_batch([(w, target, flow) for w in workloads])
+
+    # ------------------------------------------------------------------
+    def _sweep_point(
+        self, params: Dict[str, Any], base: Any
+    ) -> Tuple[Any, Union[Target, None]]:
+        """Translate one grid assignment into (workload, target)."""
+        params = dict(params)
+        target = params.pop("target", None)
+        target = get_target(target if target is not None else self.target)
+        overrides = {
+            key: params.pop(key)
+            for key in tuple(params)
+            if key in _TARGET_FIELDS
+        }
+        if overrides:
+            target = target.with_(**overrides)
+        family_keys = [k for k in params if k in GENERATOR_KINDS]
+        if family_keys:
+            spec = {k: params.pop(k) for k in family_keys}
+            spec.update(
+                {
+                    k: params.pop(k)
+                    for k in tuple(params)
+                    if k in _GENERATOR_OPTION_KEYS
+                }
+            )
+            workload = spec
+        else:
+            workload = base
+        if params:
+            raise PipelineError(
+                f"unknown sweep parameter(s) {sorted(params)}; valid "
+                "keys are target fields "
+                f"({', '.join(_TARGET_FIELDS)}), generator families "
+                f"({', '.join(GENERATOR_KINDS)}), their options "
+                f"({', '.join(_GENERATOR_OPTION_KEYS)}), and 'target'"
+            )
+        if workload is None:
+            raise PipelineError(
+                "sweep point selects no workload: pass base= or "
+                "include a generator family key in the grid"
+            )
+        return workload, target
+
+    def sweep(
+        self,
+        param_grid: Dict[str, Sequence[Any]],
+        base: Any = None,
+    ) -> SweepResult:
+        """Compile the cartesian product of a parameter grid.
+
+        Grid keys may be generator families (``hwb``, ``adder``, ...)
+        with their options (``seed``, ``const``, ``amount``) selecting
+        the workload per point, any :class:`~.target.Target` field
+        (``synthesis``, ``optimization_level``, ``relative_phase``,
+        ``coupling``, ...) deriving a per-point target, or ``target``
+        naming a registered target.  Points run over the session pool
+        with the shared cache, so sub-flows repeated across points
+        (e.g. the same generated specification under two synthesis
+        methods) replay as cache hits.
+
+        Args:
+            param_grid: mapping of parameter name to the values to
+                sweep; the product is enumerated in sorted-key order,
+                so results are deterministic.
+            base: workload for points that do not select one via
+                generator keys.
+
+        Returns:
+            The :class:`SweepResult`, one point per grid assignment.
+
+        Raises:
+            PipelineError: when the session carries a ``flow=``
+                override — an explicit flow bypasses per-point target
+                resolution, so the sweep parameters would silently
+                not apply.
+        """
+        if self.flow is not None:
+            raise PipelineError(
+                "cannot sweep on a session with a flow= override: the "
+                "explicit flow bypasses per-point target resolution, "
+                "so the sweep parameters would not apply; create a "
+                "session without flow= (or sweep 'target'/'synthesis' "
+                "parameters instead)"
+            )
+        keys = sorted(param_grid)
+        combos = list(
+            itertools.product(*(list(param_grid[k]) for k in keys))
+        )
+        assignments = [dict(zip(keys, combo)) for combo in combos]
+        results = self._run_batch(
+            [
+                self._sweep_point(assignment, base) + (None,)
+                for assignment in assignments
+            ]
+        )
+        return SweepResult(
+            points=[
+                SweepPoint(params=assignment, result=result)
+                for assignment, result in zip(assignments, results)
+            ]
+        )
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Return the shared cache's entry/hit/miss counters."""
+        if self.cache is None:
+            return {"entries": 0, "hits": 0, "misses": 0, "disk_hits": 0}
+        return self.cache.stats()

@@ -1,0 +1,307 @@
+"""Compilation targets: gate set, device topology, emitter, presets.
+
+A :class:`Target` is an immutable description of *where* a compiled
+circuit is going — its gate set (reversible MCT level or Clifford+T),
+an optional device :class:`~repro.mapping.routing.CouplingMap`, the
+optimization effort, the preferred synthesis method and the default
+emission format.  :meth:`Target.flow` resolves a target against a
+normalized :class:`~.frontends.Workload` into a concrete
+:class:`~repro.pipeline.flows.Flow` built from the existing pass
+vocabulary, so facade compilations are gate-for-gate identical to the
+hand-wired presets (``flows.EQ5``/``QSHARP``/``DEVICE``).
+
+Resolution rules (also documented in docs/ARCHITECTURE.md):
+
+1. the workload's prelude passes run first (specification generation);
+2. function-level workloads get a synthesis pass — the target's
+   ``synthesis`` override, else the frontend's recommendation;
+3. ``optimization_level`` >= 1 adds cascade simplification
+   (``revsimp``); reversible-level targets stop here;
+4. quantum targets lower with the Clifford+T mapping, then level 1
+   adds gate cancellation, level >= 2 the T-par stage;
+5. a ``coupling`` appends device routing, ``collect_statistics`` the
+   ``ps`` analysis pass;
+6. quantum-circuit workloads skip 2-3 and run the Sec. VII device
+   shape instead (cancel, on-need lowering, T-par at level >= 2,
+   routing).
+
+The module also keeps a registry of named presets —
+:data:`TOFFOLI`, :data:`CLIFFORD_T`, :data:`IBM_QE5`, :data:`QSHARP`
+and :data:`PROJECTQ` — addressable by name everywhere a target is
+accepted (``repro.compile(pi, target="ibm_qe5")``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from ..mapping.routing import CouplingMap
+from ..pipeline.flows import Flow, device as device_flow
+from ..pipeline.passes import (
+    CancelPass,
+    MapToCliffordTPass,
+    Pass,
+    RoutePass,
+    SimplifyPass,
+    StatisticsPass,
+    SynthesisPass,
+    TparPass,
+)
+from ..pipeline.state import PipelineError
+from .frontends import Workload, detect_workload
+
+#: The Clifford+T basis the mapping stage emits.
+CLIFFORD_T_GATES = ("h", "s", "sdg", "t", "tdg", "x", "z", "cx")
+
+#: The reversible (multiple-controlled Toffoli) level.
+MCT_GATES = ("mct",)
+
+
+@dataclass(frozen=True)
+class Target:
+    """An immutable compilation target.
+
+    Attributes:
+        name: registry identifier (lowercase).
+        description: one-line summary shown by ``list_targets``.
+        gate_set: the output basis; ``("mct",)`` keeps the flow at the
+            reversible level, anything else lowers to Clifford+T.
+        coupling: device topology to route onto (``None`` = all-to-all).
+        optimization_level: 0 = none, 1 = simplification +
+            cancellation, 2 = additionally T-par phase folding.
+        emitter: default emission format of
+            :meth:`~.result.CompilationResult.emit` — ``qasm``,
+            ``qsharp`` or ``projectq``.
+        synthesis: synthesis method override (name or callable); the
+            frontend recommendation is used when ``None``.
+        relative_phase: use relative-phase Toffolis in the mapping.
+        collect_statistics: append the ``ps`` statistics pass.
+    """
+
+    name: str
+    description: str = ""
+    gate_set: Tuple[str, ...] = CLIFFORD_T_GATES
+    coupling: Optional[CouplingMap] = None
+    optimization_level: int = 2
+    emitter: Optional[str] = None
+    synthesis: Optional[Union[str, Callable]] = field(default=None)
+    relative_phase: bool = True
+    collect_statistics: bool = False
+
+    def with_(self, **changes) -> "Target":
+        """Return a copy of the target with fields replaced.
+
+        Args:
+            **changes: field name/value pairs to override.
+
+        Returns:
+            The derived :class:`Target` (not registered).
+        """
+        return replace(self, **changes)
+
+    @property
+    def reversible_level(self) -> bool:
+        """Whether the target stays at the reversible MCT level."""
+        return self.gate_set == MCT_GATES
+
+    # ------------------------------------------------------------------
+    def flow(self, workload) -> Flow:
+        """Resolve the target against a workload into a concrete flow.
+
+        Args:
+            workload: a :class:`~.frontends.Workload` (or any raw
+                workload shape, normalized via
+                :func:`~.frontends.detect_workload`).
+
+        Returns:
+            The :class:`~repro.pipeline.flows.Flow` realizing this
+            target for that workload, built from the existing pass
+            vocabulary (gate-for-gate identical to the hand-wired
+            preset of the same shape).
+
+        Raises:
+            PipelineError: when the workload provides nothing to
+                compile, or a quantum circuit is handed to a
+                reversible-level target.
+        """
+        if not isinstance(workload, Workload):
+            workload = detect_workload(workload)
+        level = self.optimization_level
+        passes = list(workload.prelude)
+        state = workload.state
+        if workload.needs_synthesis or passes:
+            passes.append(
+                SynthesisPass(self.synthesis or workload.synthesis or "tbs")
+            )
+            passes.extend(self._reversible_tail(level))
+        elif state.quantum is not None:
+            if self.reversible_level:
+                raise PipelineError(
+                    f"target {self.name!r} is reversible-level (MCT) but "
+                    f"workload {workload.description} is already a "
+                    "quantum circuit"
+                )
+            passes.extend(
+                device_flow(
+                    coupling=self.coupling, optimize=level >= 2
+                ).passes
+            )
+            if self.collect_statistics:
+                passes.append(StatisticsPass())
+        elif state.reversible is not None:
+            passes.extend(self._reversible_tail(level))
+        else:
+            raise PipelineError(
+                f"workload {workload.description} provides nothing to "
+                "compile; pass a specification, a circuit, or an "
+                "explicit flow="
+            )
+        return Flow(
+            name=f"{self.name}[{workload.kind}]",
+            description=(
+                f"target {self.name}: {workload.description}"
+            ),
+            passes=tuple(passes),
+        )
+
+    def _reversible_tail(self, level: int) -> Tuple[Pass, ...]:
+        """Build the pass tail from the reversible level downward."""
+        passes = []
+        if level >= 1:
+            passes.append(SimplifyPass())
+        if self.reversible_level:
+            if self.collect_statistics:
+                raise PipelineError(
+                    f"target {self.name!r}: collect_statistics needs a "
+                    "quantum circuit, but the target is "
+                    "reversible-level (MCT); drop the flag or lower "
+                    "the gate set"
+                )
+            return tuple(passes)
+        passes.append(
+            MapToCliffordTPass(relative_phase=self.relative_phase)
+        )
+        if level == 1:
+            passes.append(CancelPass())
+        elif level >= 2:
+            passes.append(TparPass(pre_cancel=True, post_cancel=True))
+        if self.coupling is not None:
+            passes.append(RoutePass(self.coupling))
+        if self.collect_statistics:
+            passes.append(StatisticsPass())
+        return tuple(passes)
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Target] = {}
+
+
+def register_target(target: Target, overwrite: bool = False) -> Target:
+    """Register a target under its (lowercased) name.
+
+    Args:
+        target: the target to register.
+        overwrite: replace an existing registration of the same name.
+
+    Returns:
+        The registered target (for chaining).
+
+    Raises:
+        PipelineError: when the name is taken and ``overwrite`` is
+            false.
+    """
+    key = target.name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise PipelineError(
+            f"target {target.name!r} is already registered; pass "
+            "overwrite=True to replace it"
+        )
+    _REGISTRY[key] = target
+    return target
+
+
+def get_target(spec: Union[Target, str, None]) -> Target:
+    """Resolve a target argument to a :class:`Target` instance.
+
+    Args:
+        spec: a target, a registered name (case-insensitive), or
+            ``None`` for the default (:data:`CLIFFORD_T`).
+
+    Returns:
+        The resolved target.
+
+    Raises:
+        PipelineError: for unknown names (the message lists the
+            registered ones).
+    """
+    if spec is None:
+        return CLIFFORD_T
+    if isinstance(spec, Target):
+        return spec
+    target = _REGISTRY.get(str(spec).lower())
+    if target is None:
+        raise PipelineError(
+            f"unknown target {spec!r}; registered targets: "
+            f"{', '.join(list_targets())}"
+        )
+    return target
+
+
+def list_targets() -> Tuple[str, ...]:
+    """Return the registered target names in registration order."""
+    return tuple(_REGISTRY)
+
+
+#: Reversible MCT level: synthesis plus cascade simplification.
+TOFFOLI = register_target(
+    Target(
+        name="toffoli",
+        description="reversible MCT cascade (synthesis + revsimp)",
+        gate_set=MCT_GATES,
+        optimization_level=1,
+    )
+)
+
+#: The Eq. (5) shape: Clifford+T with T-par and final statistics.
+CLIFFORD_T = register_target(
+    Target(
+        name="clifford_t",
+        description="Clifford+T with T-par optimization (Eq. 5 shape)",
+        optimization_level=2,
+        collect_statistics=True,
+    )
+)
+
+#: The paper's 5-qubit IBM QE bowtie chip, with routing and QASM out.
+IBM_QE5 = register_target(
+    Target(
+        name="ibm_qe5",
+        description="IBM QE 5-qubit bowtie chip (routed, QASM emitter)",
+        coupling=CouplingMap.ibm_qx2(),
+        optimization_level=2,
+        emitter="qasm",
+    )
+)
+
+#: The Fig. 10 Q# preprocessing shape with the Q# emitter.
+QSHARP = register_target(
+    Target(
+        name="qsharp",
+        description="Q# oracle preprocessing (Fig. 10 shape, Q# emitter)",
+        optimization_level=1,
+        emitter="qsharp",
+    )
+)
+
+#: The ProjectQ compiler-chain shape (all-to-all) with eDSL emission.
+PROJECTQ = register_target(
+    Target(
+        name="projectq",
+        description="ProjectQ compiler chain (all-to-all, eDSL emitter)",
+        optimization_level=2,
+        emitter="projectq",
+    )
+)

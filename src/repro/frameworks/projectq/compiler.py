@@ -17,13 +17,14 @@ inspection.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ...core.circuit import QuantumCircuit
 from ...core.statistics import CircuitStatistics, circuit_statistics
 from ...mapping.routing import CouplingMap, RoutingResult
-from ...pipeline import FlowState, Pipeline, flows
+from ...pipeline import Pipeline
 from .backends import Backend, Simulator
 
 
@@ -59,18 +60,50 @@ class CompilerBackend(Backend):
             circuit is routed onto it and measurements follow their
             logical qubits.
         optimize: run tpar + cancellation (on by default).
+
+            .. deprecated:: 1.0
+                Pass ``compile_target=targets.PROJECTQ.with_(
+                optimization_level=...)`` instead; ``optimize=`` will
+                be removed.
+        pipeline: pass-manager runner shared across flushes (fresh one
+            with the shared cache by default).
+        compile_target: a :class:`repro.compiler.Target` (or
+            registered name) selecting the compilation chain; defaults
+            to the ``projectq`` preset, with ``coupling`` overlaid.
     """
 
     def __init__(
         self,
         target: Optional[Backend] = None,
         coupling: Optional[CouplingMap] = None,
-        optimize: bool = True,
+        optimize: Optional[bool] = None,
         pipeline: Optional[Pipeline] = None,
+        compile_target=None,
     ):
+        from ... import compiler
+
         self.target = target if target is not None else Simulator()
-        self.coupling = coupling
-        self.optimize = optimize
+        if optimize is not None:
+            warnings.warn(
+                "CompilerBackend(optimize=...) is deprecated; pass "
+                "compile_target=targets.PROJECTQ.with_("
+                "optimization_level=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        if compile_target is None:
+            compile_target = compiler.targets.PROJECTQ
+        else:
+            compile_target = compiler.get_target(compile_target)
+        if coupling is not None:
+            compile_target = compile_target.with_(coupling=coupling)
+        if optimize is not None:
+            compile_target = compile_target.with_(
+                optimization_level=2 if optimize else 1
+            )
+        self.compile_target = compile_target
+        self.coupling = compile_target.coupling
+        self.optimize = compile_target.optimization_level >= 2
         self.pipeline = pipeline if pipeline is not None else Pipeline()
         self.report: Optional[CompilationReport] = None
         self.compiled_circuit: Optional[QuantumCircuit] = None
@@ -87,12 +120,13 @@ class CompilerBackend(Backend):
         return outcome
 
     def compile(self, circuit: QuantumCircuit) -> QuantumCircuit:
-        """Run the device flow through the pass manager and report."""
-        flow = flows.device(coupling=self.coupling, optimize=self.optimize)
-        result = flow.run(
-            FlowState(quantum=circuit), pipeline=self.pipeline
+        """Run the device flow through ``repro.compile`` and report."""
+        from ... import compiler
+
+        result = compiler.compile(
+            circuit, target=self.compile_target, pipeline=self.pipeline
         )
-        work = result.quantum
+        work = result.circuit
         self.routing = result.routing
         self.compiled_circuit = work
         self.report = CompilationReport(

@@ -19,12 +19,13 @@ environment, so this module
 from __future__ import annotations
 
 import re
+import warnings
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Union
 
 from ..boolean.permutation import BitPermutation
 from ..core.circuit import QuantumCircuit
-from ..pipeline import FlowState, Pipeline, flows
+from ..pipeline import Pipeline
 from ..synthesis.reversible import ReversibleCircuit
 
 _QSHARP_NAMES = {
@@ -93,47 +94,87 @@ def operation_from_circuit(
     return QSharpOperation(name, code, circuit.copy())
 
 
+def _resolve_target(target, synth, entry_name: str):
+    """Resolve an entry point's target, honoring the deprecated synth=.
+
+    Shared by :func:`permutation_oracle_operation` and
+    :func:`hidden_shift_program`: defaults to the ``qsharp`` preset
+    and folds a legacy ``synth=`` callable into the target's
+    ``synthesis`` field with a :class:`DeprecationWarning` naming the
+    calling entry point.
+    """
+    from .. import compiler
+
+    if target is None:
+        target = compiler.targets.QSHARP
+    else:
+        target = compiler.get_target(target)
+    if synth is not None:
+        warnings.warn(
+            f"{entry_name}(synth=...) is deprecated; pass "
+            "target=targets.QSHARP.with_(synthesis=...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        target = target.with_(synthesis=synth)
+    return target
+
+
 def permutation_oracle_operation(
     permutation: Union[BitPermutation, Sequence[int]],
     synth: Optional[Callable[[BitPermutation], ReversibleCircuit]] = None,
     name: str = "PermutationOracle",
     pipeline: Optional[Pipeline] = None,
+    target=None,
 ) -> QSharpOperation:
     """RevKit-as-preprocessor: synthesize ``pi`` and emit Q# (Fig. 10).
 
-    Runs the :data:`repro.pipeline.flows.QSHARP` preset — chosen
-    synthesis (default transformation-based [43]), ``revsimp``,
-    Clifford+T mapping [42], gate cancellation — then generates the Q#
-    text from the compiled circuit.  Repeated calls for the same
-    permutation replay the pass manager's cached results.
+    Dispatches through :func:`repro.compile` with the ``qsharp``
+    target — chosen synthesis (default transformation-based [43]),
+    ``revsimp``, Clifford+T mapping [42], gate cancellation — then
+    generates the Q# text from the compiled circuit.  Repeated calls
+    for the same permutation replay the pass manager's cached results.
 
     Args:
         permutation: the oracle permutation ``pi``.
-        synth: synthesis back-end (name or callable); paper default is
-            transformation-based synthesis.
+        synth: synthesis back-end (name or callable).
+
+            .. deprecated:: 1.0
+                Pass ``target=targets.QSHARP.with_(synthesis=...)``
+                instead; ``synth=`` will be removed.
         name: Q# operation name to emit.
         pipeline: pass-manager runner to execute on (fresh one with
             the shared cache by default).
+        target: a :class:`repro.compiler.Target` (or registered name)
+            selecting synthesis and optimization; defaults to the
+            ``qsharp`` preset.
 
     Returns:
         The generated operation with its executable circuit attached.
     """
+    from .. import compiler
+
     if not isinstance(permutation, BitPermutation):
         permutation = BitPermutation(list(permutation))
-    flow = flows.qsharp(synth=synth)
-    result = flow.run(
-        FlowState(function=permutation), pipeline=pipeline
-    )
-    return operation_from_circuit(name, result.quantum)
+    target = _resolve_target(target, synth, "permutation_oracle_operation")
+    result = compiler.compile(permutation, target=target, pipeline=pipeline)
+    return operation_from_circuit(name, result.circuit)
 
 
 def hidden_shift_program(
     permutation: Union[BitPermutation, Sequence[int]],
     num_vars: int,
     synth: Optional[Callable[[BitPermutation], ReversibleCircuit]] = None,
+    target=None,
 ) -> str:
-    """The full two-namespace Q# program of Figs. 9 and 10."""
-    oracle = permutation_oracle_operation(permutation, synth=synth)
+    """The full two-namespace Q# program of Figs. 9 and 10.
+
+    ``synth=`` is deprecated like on
+    :func:`permutation_oracle_operation`; pass
+    ``target=targets.QSHARP.with_(synthesis=...)`` instead.
+    """
+    target = _resolve_target(target, synth, "hidden_shift_program")
+    oracle = permutation_oracle_operation(permutation, target=target)
     driver = f"""namespace Repro.Quantum.HiddenShift {{
     // basic operations: Hadamard, CNOT, etc
     open Microsoft.Quantum.Primitive;

@@ -1,4 +1,4 @@
-"""Content-keyed pass-result cache.
+"""Content-keyed pass-result cache, optionally spilled to disk.
 
 Repeated flows — parameter sweeps, shell re-runs, regenerating the
 same Q# oracle — re-execute identical (pass, input) pairs.  The cache
@@ -9,20 +9,45 @@ the stored outputs instead of recomputing them.
 
 Values are defensively copied on both insert and lookup: callers may
 mutate circuits they receive (the shell does), and that must never
-corrupt cached entries.
+corrupt cached entries.  All operations take an internal lock, so one
+cache may back the batched compilations of a
+:class:`~repro.compiler.session.CompilerSession` thread pool.
+
+With ``PassCache(path=...)`` entries are additionally written to disk
+as content-named JSON files and reloaded on a memory miss, so a cache
+rooted at the same path persists across processes and sessions.  Only
+values with a registered JSON codec spill (circuits, specifications,
+routing results, statistics); entries carrying opaque artifacts stay
+memory-only.
 """
 
 from __future__ import annotations
 
 import copy
+import hashlib
+import json
+import os
+import re
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, Optional, Tuple
 
+from ..boolean.permutation import BitPermutation
+from ..boolean.truth_table import TruthTable
 from ..core.circuit import QuantumCircuit
-from ..synthesis.reversible import ReversibleCircuit
+from ..core.statistics import CircuitStatistics
+from ..mapping.routing import RoutingResult
+from ..synthesis.reversible import MctGate, ReversibleCircuit
 
 #: Default number of entries a cache retains (LRU eviction).
 DEFAULT_MAXSIZE = 512
+
+#: On-disk entry format version; bumped when the schema changes.
+DISK_FORMAT = 1
+
+#: Names of the entry files the disk tier owns (sha256 hex + .json);
+#: ``clear(disk=True)`` deletes only these.
+_ENTRY_FILE_RE = re.compile(r"[0-9a-f]{64}\.json")
 
 
 def _copy_value(value: Any) -> Any:
@@ -38,28 +63,235 @@ def _copy_value(value: Any) -> Any:
     return copy.deepcopy(value)
 
 
+# ----------------------------------------------------------------------
+# JSON codec for disk spilling
+# ----------------------------------------------------------------------
+class _Unspillable(Exception):
+    """Internal: the value has no JSON codec (entry stays in memory)."""
+
+
+def _encode(value: Any) -> Any:
+    """Encode one store value as a type-tagged JSON structure."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, QuantumCircuit):
+        return {
+            "__t__": "qc",
+            "name": value.name,
+            "nq": value.num_qubits,
+            "nc": value.num_clbits,
+            "gates": [
+                [
+                    g.name,
+                    list(g.targets),
+                    list(g.controls),
+                    list(g.params),
+                    list(g.cbits),
+                ]
+                for g in value.gates
+            ],
+        }
+    if isinstance(value, ReversibleCircuit):
+        return {
+            "__t__": "rev",
+            "name": value.name,
+            "lines": value.num_lines,
+            "gates": [
+                [g.target, list(g.controls), list(g.polarity)]
+                for g in value.gates
+            ],
+        }
+    if isinstance(value, TruthTable):
+        return {"__t__": "tt", "n": value.num_vars, "bits": value.bits}
+    if isinstance(value, BitPermutation):
+        return {"__t__": "perm", "image": list(value.image)}
+    if isinstance(value, RoutingResult):
+        return {
+            "__t__": "route",
+            "circuit": _encode(value.circuit),
+            "initial_layout": list(value.initial_layout),
+            "final_layout": list(value.final_layout),
+            "swap_count": value.swap_count,
+            "position_of": list(value.position_of),
+        }
+    if isinstance(value, CircuitStatistics):
+        return {
+            "__t__": "stats",
+            "num_qubits": value.num_qubits,
+            "num_gates": value.num_gates,
+            "depth": value.depth,
+            "t_count": value.t_count,
+            "t_depth": value.t_depth,
+            "two_qubit_count": value.two_qubit_count,
+            "clifford_count": value.clifford_count,
+            "histogram": dict(value.histogram),
+        }
+    if isinstance(value, (list, tuple)):
+        return {
+            "__t__": "list" if isinstance(value, list) else "tuple",
+            "items": [_encode(v) for v in value],
+        }
+    if isinstance(value, dict):
+        if any(not isinstance(k, str) for k in value):
+            raise _Unspillable(f"non-string dict key in {value!r}")
+        return {
+            "__t__": "dict",
+            "items": {k: _encode(v) for k, v in value.items()},
+        }
+    raise _Unspillable(f"no JSON codec for {type(value).__name__}")
+
+
+def _decode(value: Any) -> Any:
+    """Decode a type-tagged JSON structure back into store values."""
+    if not isinstance(value, dict):
+        return value
+    tag = value.get("__t__")
+    if tag == "qc":
+        circuit = QuantumCircuit(value["nq"], value["nc"], name=value["name"])
+        for name, targets, controls, params, cbits in value["gates"]:
+            circuit._add(
+                name,
+                tuple(targets),
+                tuple(controls),
+                tuple(params),
+                tuple(cbits),
+            )
+        return circuit
+    if tag == "rev":
+        circuit = ReversibleCircuit(value["lines"], name=value["name"])
+        for target, controls, polarity in value["gates"]:
+            circuit.append(
+                MctGate(target, tuple(controls), tuple(polarity))
+            )
+        return circuit
+    if tag == "tt":
+        return TruthTable(value["n"], value["bits"])
+    if tag == "perm":
+        return BitPermutation(value["image"])
+    if tag == "route":
+        return RoutingResult(
+            circuit=_decode(value["circuit"]),
+            initial_layout=list(value["initial_layout"]),
+            final_layout=list(value["final_layout"]),
+            swap_count=value["swap_count"],
+            position_of=list(value["position_of"]),
+        )
+    if tag == "stats":
+        return CircuitStatistics(
+            num_qubits=value["num_qubits"],
+            num_gates=value["num_gates"],
+            depth=value["depth"],
+            t_count=value["t_count"],
+            t_depth=value["t_depth"],
+            two_qubit_count=value["two_qubit_count"],
+            clifford_count=value["clifford_count"],
+            histogram=dict(value["histogram"]),
+        )
+    if tag == "list":
+        return [_decode(v) for v in value["items"]]
+    if tag == "tuple":
+        return tuple(_decode(v) for v in value["items"])
+    if tag == "dict":
+        return {k: _decode(v) for k, v in value["items"].items()}
+    return value
+
+
 class PassCache:
-    """LRU cache mapping content keys to pass outputs.
+    """Locked LRU cache mapping content keys to pass outputs.
 
     Args:
-        maxsize: entry cap; the least recently used entry is evicted
-            first.  ``None`` disables eviction.
+        maxsize: in-memory entry cap; the least recently used entry is
+            evicted first.  ``None`` disables eviction.  Disk entries
+            are never evicted.
+        path: optional directory for the persistent tier; entries with
+            JSON-codable values are written there and reloaded on a
+            memory miss, including from other processes.
     """
 
-    def __init__(self, maxsize: Optional[int] = DEFAULT_MAXSIZE) -> None:
-        """Create an empty cache with the given capacity."""
+    def __init__(
+        self,
+        maxsize: Optional[int] = DEFAULT_MAXSIZE,
+        path: Optional[str] = None,
+    ) -> None:
+        """Create an empty cache with the given capacity and tier."""
         self.maxsize = maxsize
+        self.path = os.fspath(path) if path is not None else None
+        if self.path is not None:
+            os.makedirs(self.path, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self._lock = threading.RLock()
         self._entries: (
             "OrderedDict[str, Tuple[Dict[str, Any], Dict[str, Any], bool]]"
         )
         self._entries = OrderedDict()
 
     def __len__(self) -> int:
-        """Return the number of stored entries."""
-        return len(self._entries)
+        """Return the number of in-memory entries."""
+        with self._lock:
+            return len(self._entries)
 
+    # ------------------------------------------------------------------
+    # disk tier
+    # ------------------------------------------------------------------
+    def _entry_path(self, key: str) -> str:
+        """Return the spill file path for a content key."""
+        digest = hashlib.sha256(key.encode()).hexdigest()
+        return os.path.join(self.path, f"{digest}.json")
+
+    def _spill(
+        self,
+        key: str,
+        entry: Tuple[Dict[str, Any], Dict[str, Any], bool],
+    ) -> None:
+        """Write one entry to the disk tier (best effort)."""
+        outputs, details, verified = entry
+        try:
+            payload = json.dumps(
+                {
+                    "format": DISK_FORMAT,
+                    "key": key,
+                    "verified": verified,
+                    "outputs": {k: _encode(v) for k, v in outputs.items()},
+                    "details": {k: _encode(v) for k, v in details.items()},
+                }
+            )
+        except (_Unspillable, TypeError, ValueError):
+            return
+        target = self._entry_path(key)
+        tmp = f"{target}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w") as stream:
+                stream.write(payload)
+            os.replace(tmp, target)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def _load(
+        self, key: str
+    ) -> Optional[Tuple[Dict[str, Any], Dict[str, Any], bool]]:
+        """Read one entry back from the disk tier, if present."""
+        try:
+            with open(self._entry_path(key)) as stream:
+                payload = json.load(stream)
+        except (OSError, ValueError):
+            return None
+        if (
+            payload.get("format") != DISK_FORMAT
+            or payload.get("key") != key
+        ):
+            return None
+        return (
+            {k: _decode(v) for k, v in payload["outputs"].items()},
+            {k: _decode(v) for k, v in payload["details"].items()},
+            bool(payload.get("verified", False)),
+        )
+
+    # ------------------------------------------------------------------
     def get(
         self, key: str
     ) -> Optional[Tuple[Dict[str, Any], Dict[str, Any], bool]]:
@@ -71,20 +303,50 @@ class PassCache:
         Returns:
             A fresh copy of the stored output fields, the recorded
             pass statistics, and whether the entry has already passed
-            functional verification — or ``None`` on a miss.
+            functional verification — or ``None`` on a miss in both
+            tiers.
         """
-        entry = self._entries.get(key)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+        if entry is None and self.path is not None:
+            # file I/O happens outside the lock; insertion re-checks
+            loaded = self._load(key)
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self.hits += 1
+                elif loaded is not None:
+                    entry = loaded
+                    self.disk_hits += 1
+                    self.hits += 1
+                    self._store(key, entry)
         if entry is None:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
-        self.hits += 1
-        self._entries.move_to_end(key)
+        # entry tuples are replaced wholesale, never mutated in place,
+        # so the defensive copy can run without holding the lock
         outputs, details, verified = entry
         return (
             {name: _copy_value(value) for name, value in outputs.items()},
             dict(details),
             verified,
         )
+
+    def _store(
+        self,
+        key: str,
+        entry: Tuple[Dict[str, Any], Dict[str, Any], bool],
+    ) -> None:
+        """Insert an entry into the memory tier and apply the LRU cap."""
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        if self.maxsize is not None:
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
 
     def put(
         self,
@@ -93,7 +355,7 @@ class PassCache:
         details: Dict[str, Any],
         verified: bool = False,
     ) -> None:
-        """Store pass outputs under ``key``.
+        """Store pass outputs under ``key`` (both tiers).
 
         Args:
             key: content key built by the pipeline.
@@ -102,39 +364,68 @@ class PassCache:
             verified: whether the outputs passed functional
                 verification before being stored.
         """
-        self._entries[key] = (
+        entry = (
             {name: _copy_value(value) for name, value in outputs.items()},
             dict(details),
             verified,
         )
-        self._entries.move_to_end(key)
-        if self.maxsize is not None:
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
+        with self._lock:
+            self._store(key, entry)
+        if self.path is not None:
+            # the spill encodes from this call's private entry tuple,
+            # so serializing outside the lock races with nothing
+            self._spill(key, entry)
 
     def mark_verified(self, key: str) -> None:
         """Flag an existing entry as functionally verified."""
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries[key] = (entry[0], entry[1], True)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                entry = (entry[0], entry[1], True)
+                self._entries[key] = entry
+        if entry is not None and self.path is not None:
+            self._spill(key, entry)
 
     def drop(self, key: str) -> None:
         """Remove one entry (e.g. after it failed verification)."""
-        self._entries.pop(key, None)
+        with self._lock:
+            self._entries.pop(key, None)
+            if self.path is not None:
+                try:
+                    os.unlink(self._entry_path(key))
+                except OSError:
+                    pass
 
-    def clear(self) -> None:
-        """Drop all entries and reset the hit/miss counters."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+    def clear(self, disk: bool = False) -> None:
+        """Drop all in-memory entries and reset the counters.
+
+        Args:
+            disk: also delete the persistent tier's entry files (only
+                content-named ``<sha256>.json`` files this cache
+                owns — other files in the directory are untouched).
+        """
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.disk_hits = 0
+            if disk and self.path is not None:
+                for name in os.listdir(self.path):
+                    if _ENTRY_FILE_RE.fullmatch(name):
+                        try:
+                            os.unlink(os.path.join(self.path, name))
+                        except OSError:
+                            pass
 
     def stats(self) -> Dict[str, int]:
-        """Return ``{"entries", "hits", "misses"}`` counters."""
-        return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-        }
+        """Return ``{"entries", "hits", "misses", "disk_hits"}``."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "disk_hits": self.disk_hits,
+            }
 
 
 _SHARED: Optional[PassCache] = None

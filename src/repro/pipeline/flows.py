@@ -18,6 +18,7 @@ parameterize the same shapes for sweeps.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
@@ -74,14 +75,39 @@ class Flow:
 
         Raises:
             PipelineError: when both ``pipeline`` and
-                ``pipeline_options`` are given.
+                ``pipeline_options`` are given (the message names the
+                conflicting kwargs), or when an option is not one
+                :class:`~.runner.Pipeline` accepts.
         """
         if pipeline is not None and pipeline_options:
-            raise PipelineError(
-                "pass either pipeline= or pipeline options "
-                f"({', '.join(sorted(pipeline_options))}), not both"
+            conflict = ", ".join(
+                f"{name}=" for name in sorted(pipeline_options)
             )
-        runner = pipeline if pipeline is not None else Pipeline(**pipeline_options)
+            raise PipelineError(
+                f"flow {self.name!r}: conflicting keyword arguments "
+                f"pipeline= and {conflict}; the explicit runner "
+                "already carries its own configuration, pass one or "
+                "the other"
+            )
+        if pipeline is not None:
+            runner = pipeline
+        else:
+            valid = tuple(
+                name
+                for name in inspect.signature(
+                    Pipeline.__init__
+                ).parameters
+                if name != "self"
+            )
+            unknown = sorted(set(pipeline_options) - set(valid))
+            if unknown:
+                names = ", ".join(f"{name}=" for name in unknown)
+                raise PipelineError(
+                    f"flow {self.name!r}: unknown pipeline option(s) "
+                    f"{names}; valid options are "
+                    + ", ".join(f"{name}=" for name in valid)
+                )
+            runner = Pipeline(**pipeline_options)
         return runner.run(self.passes, state)
 
     def __str__(self) -> str:

@@ -1,0 +1,154 @@
+"""The ``python -m repro`` command-line front door."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture
+def run_cli(capsys):
+    def _run(*argv):
+        code = main(list(argv))
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    return _run
+
+
+class TestCompileCommand:
+    def test_eq5_story_from_the_shell(self, run_cli):
+        code, out, _err = run_cli(
+            "compile", "hwb=4", "--target", "clifford_t",
+            "--stats", "--report",
+        )
+        assert code == 0
+        assert "revgen-hwb" in out
+        assert "tpar" in out
+        assert "T:" in out  # the ps -c statistics block
+
+    def test_expression_workload(self, run_cli):
+        code, out, _err = run_cli("compile", "(a and b) ^ (c and d)")
+        assert code == 0
+        assert "t_count=" in out
+
+    def test_emit_qasm_on_stdout(self, run_cli):
+        code, out, _err = run_cli(
+            "compile", "perm:0,2,3,5,7,1,4,6",
+            "--target", "ibm_qe5", "--emit", "qasm",
+        )
+        assert code == 0
+        assert out.startswith("OPENQASM 2.0;")
+
+    def test_emit_qsharp(self, run_cli):
+        code, out, _err = run_cli(
+            "compile", "perm:0,2,3,5,7,1,4,6",
+            "--target", "qsharp", "--emit", "qsharp",
+        )
+        assert code == 0
+        assert "operation CompiledOperation" in out
+
+    def test_truth_table_spec(self, run_cli):
+        code, out, _err = run_cli(
+            "compile", "tt:3:e8", "--target", "toffoli", "--stats"
+        )
+        assert code == 0
+        assert "mct_gates" in out
+
+    def test_qasm_file_workload(self, run_cli, tmp_path):
+        from repro.core.circuit import QuantumCircuit
+
+        path = tmp_path / "circuit.qasm"
+        path.write_text(QuantumCircuit(2).h(0).cx(0, 1).to_qasm())
+        code, out, _err = run_cli(
+            "compile", str(path), "--target", "projectq"
+        )
+        assert code == 0
+        assert "workload=circuit" in out
+
+    def test_json_file_workload(self, run_cli, tmp_path):
+        path = tmp_path / "workload.json"
+        path.write_text(json.dumps({"hwb": 3}))
+        code, out, _err = run_cli("compile", str(path))
+        assert code == 0
+        assert "revgen(hwb=3)" in out
+
+    def test_cache_dir_persists(self, run_cli, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        code, out, _err = run_cli(
+            "compile", "hwb=3", "--cache-dir", cache_dir
+        )
+        assert code == 0
+        assert "cached=0" in out
+        code, out, _err = run_cli(
+            "compile", "hwb=3", "--cache-dir", cache_dir
+        )
+        assert code == 0
+        assert "cached=0" not in out
+
+    def test_verify_flag(self, run_cli):
+        code, _out, _err = run_cli("compile", "hwb=3", "--verify")
+        assert code == 0
+
+    def test_bad_workload_exits_nonzero(self, run_cli):
+        code, _out, err = run_cli("compile", "definitely: not valid!")
+        assert code == 2
+        assert "supported workload shapes" in err
+
+    @pytest.mark.parametrize(
+        "workload", ["perm:0,1,1", "perm:0,x", "tt:4:zz"]
+    )
+    def test_malformed_workload_spec_exits_cleanly(self, run_cli, workload):
+        code, _out, err = run_cli("compile", workload)
+        assert code == 2
+        assert err.startswith("error:")
+
+    def test_corrupt_json_file_exits_cleanly(self, run_cli, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        code, _out, err = run_cli("compile", str(path))
+        assert code == 2
+        assert err.startswith("error:")
+
+    def test_emission_error_exits_cleanly(self, run_cli):
+        # a reversible-level target has no quantum circuit to emit
+        code, _out, err = run_cli(
+            "compile", "hwb=3", "--target", "toffoli", "--emit", "qasm"
+        )
+        assert code == 2
+        assert "error: cannot emit qasm" in err
+
+    def test_flow_preset_with_empty_seed(self, run_cli):
+        code, out, _err = run_cli("compile", "-", "--flow", "eq5")
+        assert code == 0
+        assert "passes=6" in out
+
+    def test_flow_preset_rejects_conflicting_workload(self, run_cli):
+        # eq5 generates hwb=4 itself; a generator workload would be
+        # silently discarded, so the CLI refuses the combination
+        code, _out, err = run_cli("compile", "hwb=6", "--flow", "eq5")
+        assert code == 2
+        assert "generator pass" in err
+
+
+class TestTargetsCommand:
+    def test_lists_presets(self, run_cli):
+        code, out, _err = run_cli("targets")
+        assert code == 0
+        for name in ("toffoli", "clifford_t", "ibm_qe5", "qsharp"):
+            assert name in out
+
+
+class TestModuleInvocation:
+    def test_python_dash_m_repro(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "targets"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "clifford_t" in proc.stdout

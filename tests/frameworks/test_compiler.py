@@ -113,7 +113,11 @@ class TestCompilerBackend:
         assert "compiled_gates" in report.as_dict()
 
     def test_optimization_can_be_disabled(self):
-        backend = CompilerBackend(optimize=False)
+        from repro.compiler import targets
+
+        backend = CompilerBackend(
+            compile_target=targets.PROJECTQ.with_(optimization_level=1)
+        )
         eng = MainEngine(backend=backend)
         q = eng.allocate_qubit()
         from repro.frameworks.projectq import T
@@ -123,6 +127,20 @@ class TestCompilerBackend:
         eng.flush()
         names = [g.name for g in backend.compiled_circuit]
         assert names == ["t", "t"]
+
+    def test_optimize_kwarg_deprecated_but_equivalent(self):
+        import pytest
+
+        with pytest.warns(DeprecationWarning, match="optimize=.*deprecated"):
+            backend = CompilerBackend(optimize=False)
+        eng = MainEngine(backend=backend)
+        q = eng.allocate_qubit()
+        from repro.frameworks.projectq import T
+
+        T | q
+        T | q
+        eng.flush()
+        assert [g.name for g in backend.compiled_circuit] == ["t", "t"]
 
     def test_t_count_never_increases(self):
         backend = CompilerBackend()

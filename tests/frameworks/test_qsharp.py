@@ -78,13 +78,58 @@ class TestPermutationOracleGeneration:
         assert op.circuit.is_clifford_t()
 
     def test_custom_synthesis(self, paper_pi):
+        from repro.compiler import targets
+
         op = permutation_oracle_operation(
-            paper_pi, synth=decomposition_based_synthesis
+            paper_pi,
+            target=targets.QSHARP.with_(
+                synthesis=decomposition_based_synthesis
+            ),
         )
         assert validate_program(op.code)
 
+    def test_synth_kwarg_deprecated_but_equivalent(self, paper_pi):
+        import pytest
+
+        with pytest.warns(DeprecationWarning, match="synth=.*deprecated"):
+            legacy = permutation_oracle_operation(
+                paper_pi, synth=decomposition_based_synthesis
+            )
+        from repro.compiler import targets
+
+        modern = permutation_oracle_operation(
+            paper_pi,
+            target=targets.QSHARP.with_(
+                synthesis=decomposition_based_synthesis
+            ),
+        )
+        assert legacy.circuit.gates == modern.circuit.gates
+
 
 class TestFullProgram:
+    def test_hidden_shift_program_synth_deprecated(self, paper_pi):
+        import warnings
+
+        import pytest
+
+        from repro.compiler import targets
+
+        with pytest.warns(DeprecationWarning, match="synth=.*deprecated"):
+            legacy = hidden_shift_program(
+                paper_pi, 3, synth=decomposition_based_synthesis
+            )
+        with warnings.catch_warnings():
+            # the modern spelling stays silent
+            warnings.simplefilter("error")
+            modern = hidden_shift_program(
+                paper_pi,
+                3,
+                target=targets.QSHARP.with_(
+                    synthesis=decomposition_based_synthesis
+                ),
+            )
+        assert legacy == modern
+
     def test_hidden_shift_program_structure(self, paper_pi):
         program = hidden_shift_program(paper_pi, 3)
         assert validate_program(program)

@@ -117,8 +117,26 @@ class TestFlowRunArguments:
 
         from repro.pipeline import PipelineError
 
-        with pytest.raises(PipelineError, match="not both"):
+        # the error names the flow and every conflicting kwarg
+        with pytest.raises(PipelineError, match=r"pipeline= and verify="):
             flows.EQ5.run(pipeline=Pipeline(cache=None), verify=True)
+        with pytest.raises(
+            PipelineError, match=r"cache=, verify="
+        ) as excinfo:
+            flows.EQ5.run(
+                pipeline=Pipeline(cache=None), verify=True, cache=None
+            )
+        assert flows.EQ5.name in str(excinfo.value)
+
+    def test_unknown_pipeline_option_named(self):
+        import pytest
+
+        from repro.pipeline import PipelineError
+
+        with pytest.raises(
+            PipelineError, match=r"unknown pipeline option\(s\) verbose="
+        ):
+            flows.EQ5.run(verbose=True)
 
     def test_eq5_name_shows_synthesis_variant(self):
         assert "synthesis=dbs" in flows.eq5(hwb=4, synthesis="dbs").name

@@ -14,6 +14,7 @@ SUBPACKAGES = (
     "algorithms",
     "arith",
     "boolean",
+    "compiler",
     "core",
     "mapping",
     "optimization",
@@ -26,6 +27,12 @@ SUBPACKAGES = (
 
 #: entry points whose docstrings must document arguments and returns.
 ENTRY_POINTS = (
+    "repro.compile",
+    "repro.compiler.detect_workload",
+    "repro.compiler.as_truth_table",
+    "repro.compiler.Target.flow",
+    "repro.compiler.CompilerSession.compile_many",
+    "repro.compiler.CompilerSession.sweep",
     "repro.pipeline.Pipeline.apply",
     "repro.pipeline.Pipeline.run",
     "repro.pipeline.Flow.run",
