@@ -1,6 +1,6 @@
-"""Compiler facade overhead and sweep caching (PR 3).
+"""Compiler facade overhead, sweep caching, async execution (PR 3/4).
 
-Two obligations of the `repro.compile()` front door:
+Obligations of the `repro.compile()` front door:
 
 * **Overhead** — the facade (workload detection + target resolution +
   result bundling) adds < 5% wall-clock over the hand-wired
@@ -11,12 +11,21 @@ Two obligations of the `repro.compile()` front door:
   (cache=None), because repeated sub-flows (shared generation /
   synthesis prefixes) replay instead of recompute; a repeated sweep
   replays everything.
+* **Async + bounded cache** — `sweep_async` over 32 parameter points
+  on a warm disk-backed cache beats the sequential cold sweep
+  (combined caching + overlapped-execution win; on a single-core
+  runner the overlap itself is GIL-bound, so the margin is carried by
+  the warm tier), and a budgeted cache (`max_entries=8` < 32 points)
+  records evictions while still compiling every point gate-for-gate
+  identically.
 
 Timing asserts are skipped on shared CI runners (`CI` env var) where
 timers are too noisy; CI still smokes both paths and uploads the
-`BENCH_compiler.json` baseline.
+`BENCH_compiler.json` baseline (including the async/eviction numbers
+in `extra_info`).
 """
 
+import asyncio
 import os
 import time
 
@@ -121,3 +130,88 @@ def test_sweep_with_cache_vs_cold(benchmark):
     )
     if benchmark.enabled and not os.environ.get("CI"):
         assert warm_s < cold_s, "cached sweep should beat cold sweep"
+
+
+#: 2 (sizes) x 2 (synthesis) x 4 (levels) x 2 (mapping) = 32 points.
+ASYNC_SWEEP_GRID = {
+    "hwb": [3, 4],
+    "synthesis": ["tbs", "tbs-bidir"],
+    "optimization_level": [0, 1, 2, 3],
+    "relative_phase": [True, False],
+}
+
+
+def test_async_sweep_and_bounded_cache(benchmark, tmp_path):
+    # sequential cold reference: one point at a time, no cache
+    sequential = CompilerSession(cache=None, max_workers=1)
+    baseline = sequential.sweep(ASYNC_SWEEP_GRID)
+    assert len(baseline) == 32
+    sequential_cold_s = _best_of(
+        lambda: sequential.sweep(ASYNC_SWEEP_GRID), rounds=2
+    )
+
+    # async sweep over a warm disk-backed cache
+    cache = PassCache(path=str(tmp_path / "warm"))
+    session = CompilerSession(cache=cache, max_workers=8)
+    session.sweep(ASYNC_SWEEP_GRID)  # warm both tiers
+
+    def run_async_warm():
+        return asyncio.run(
+            session.sweep_async(ASYNC_SWEEP_GRID, max_in_flight=8)
+        )
+
+    swept = benchmark(run_async_warm)
+    async_warm_s = _best_of(run_async_warm, rounds=3)
+
+    # deterministic order and gate-for-gate agreement with sequential
+    assert [p.params for p in swept] == [p.params for p in baseline]
+    for cold_point, warm_point in zip(baseline, swept):
+        assert (
+            cold_point.result.circuit.gates
+            == warm_point.result.circuit.gates
+        )
+
+    # a bounded cache (max_entries < sweep size) must evict and still
+    # compile every point correctly
+    bounded = PassCache(path=str(tmp_path / "bounded"), max_entries=8)
+    bounded_session = CompilerSession(cache=bounded, max_workers=8)
+    bounded_sweep = asyncio.run(
+        bounded_session.sweep_async(ASYNC_SWEEP_GRID)
+    )
+    bounded_stats = bounded.stats()
+    assert bounded_stats["evictions"] > 0
+    assert bounded_stats["disk_entries"] <= 8
+    for cold_point, bounded_point in zip(baseline, bounded_sweep):
+        assert (
+            cold_point.result.circuit.gates
+            == bounded_point.result.circuit.gates
+        )
+
+    speedup = sequential_cold_s / async_warm_s
+    benchmark.extra_info["points"] = len(baseline)
+    benchmark.extra_info["sequential_cold_s"] = sequential_cold_s
+    benchmark.extra_info["async_warm_s"] = async_warm_s
+    benchmark.extra_info["speedup_vs_sequential"] = speedup
+    benchmark.extra_info["bounded_max_entries"] = 8
+    benchmark.extra_info["bounded_evictions"] = bounded_stats["evictions"]
+    benchmark.extra_info["bounded_disk_evictions"] = bounded_stats[
+        "disk_evictions"
+    ]
+    benchmark.extra_info["bounded_disk_bytes"] = bounded_stats["disk_bytes"]
+
+    report(
+        "sweep_async: 32 points, warm cache vs sequential cold",
+        [
+            ("sequential cold best", f"{sequential_cold_s * 1e3:.2f}ms"),
+            ("async warm best", f"{async_warm_s * 1e3:.2f}ms"),
+            ("speedup", f"{speedup:.1f}x"),
+            ("bounded evictions", bounded_stats["evictions"]),
+            ("bounded disk entries", bounded_stats["disk_entries"]),
+            ("gate-for-gate (warm+bounded)", True),
+        ],
+    )
+    if benchmark.enabled and not os.environ.get("CI"):
+        assert async_warm_s < sequential_cold_s, (
+            f"async warm sweep ({async_warm_s * 1e3:.1f}ms) should beat "
+            f"sequential cold ({sequential_cold_s * 1e3:.1f}ms)"
+        )

@@ -9,6 +9,9 @@ Runs the paper's Eq. (5) story from the shell without the REPL:
     $ python -m repro compile perm:0,2,3,5,7,1,4,6 --target qsharp \
           --emit qsharp
     $ python -m repro targets
+    $ python -m repro cache stats --cache-dir ~/.repro-cache --json
+    $ python -m repro cache gc --cache-dir ~/.repro-cache --max-bytes 1048576
+    $ python -m repro cache clear --cache-dir ~/.repro-cache
 
 Workload argument forms:
 
@@ -114,6 +117,49 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Run the ``cache`` subcommand (stats / gc / clear)."""
+    from .pipeline.cache import PassCache
+
+    path = args.cache_dir
+    if not os.path.isdir(path):
+        print(
+            f"error: cache directory {path!r} does not exist",
+            file=sys.stderr,
+        )
+        return 2
+    cache = PassCache(path=path)
+    if args.action == "stats":
+        stats = cache.stats()
+        payload = {
+            "path": path,
+            "entries": stats["disk_entries"],
+            "bytes": stats["disk_bytes"],
+        }
+    elif args.action == "gc":
+        swept = cache.gc(
+            max_entries=args.max_entries,
+            max_bytes=args.max_bytes,
+            validate=True,
+        )
+        payload = {"path": path, **swept}
+    else:  # clear
+        before = cache.stats()
+        cache.clear(disk=True)
+        payload = {
+            "path": path,
+            "cleared": before["disk_entries"],
+            "bytes_freed": before["disk_bytes"],
+        }
+    if args.json:
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        width = max(len(key) for key in payload)
+        for key in sorted(payload):
+            print(f"{key:<{width}}  {payload[key]}")
+    return 0
+
+
 def _cmd_targets(_args: argparse.Namespace) -> int:
     """Run the ``targets`` subcommand (list registered presets)."""
     names = list_targets()
@@ -193,6 +239,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     lst = sub.add_parser("targets", help="list registered target presets")
     lst.set_defaults(func=_cmd_targets)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or maintain a persistent pass-cache directory",
+    )
+    cache.add_argument(
+        "action",
+        choices=("stats", "gc", "clear"),
+        help="stats: entry/byte totals; gc: LRU sweep down to the "
+        "given budgets (also drops corrupt entries and stale spill "
+        "temp files); clear: delete every cache entry",
+    )
+    cache.add_argument(
+        "--cache-dir",
+        required=True,
+        help="persistent pass-cache directory to operate on",
+    )
+    cache.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        help="gc: evict least-recently-used entries beyond this count",
+    )
+    cache.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="gc: evict least-recently-used entries beyond this size",
+    )
+    cache.add_argument(
+        "--json",
+        action="store_true",
+        help="print the result as one JSON object",
+    )
+    cache.set_defaults(func=_cmd_cache)
     return parser
 
 

@@ -80,6 +80,12 @@ class CompilationResult:
         flow: the flow that actually executed.
         state: the final flow store.
         records: per-pass execution records, in order.
+        cache_stats: snapshot of the pass cache's counters
+            (hits/misses/evictions/bytes — see
+            :meth:`repro.pipeline.PassCache.counters`) taken when
+            this compilation finished; ``None`` when it ran uncached.
+            The disk figures are ``None`` when the process had not
+            yet sized the disk tier (no scan is paid on this path).
     """
 
     workload: Workload
@@ -87,6 +93,7 @@ class CompilationResult:
     flow: Flow
     state: FlowState
     records: List[PassRecord]
+    cache_stats: Optional[Dict[str, Optional[int]]] = None
     _emitted: Dict[str, str] = field(
         default_factory=dict, repr=False, compare=False
     )

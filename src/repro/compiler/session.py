@@ -11,10 +11,22 @@ thread (or process) pool, and :meth:`~CompilerSession.sweep` expands a
 parameter grid into compilation points — all sharing one
 :class:`~repro.pipeline.cache.PassCache` (optionally disk-backed via
 ``cache=<path>``), so repeated sub-flows replay instead of recompute.
+
+The ``*_async`` variants (:meth:`~CompilerSession.compile_many_async`,
+:meth:`~CompilerSession.sweep_async`) run the same batches on an
+asyncio event loop: every job is its own future, in-flight concurrency
+is bounded by a semaphore, results come back in deterministic input
+order, the first failing job cancels the rest and its exception
+propagates unwrapped, and cancelling the outer coroutine cancels every
+pending job.  Jobs already running on an executor worker when the
+batch fails or is cancelled cannot be interrupted mid-pass; they
+finish in the background and their results are discarded.
 """
 
 from __future__ import annotations
 
+import asyncio
+import functools
 import itertools
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -150,6 +162,11 @@ def compile(
         flow=resolved_flow,
         state=outcome.state,
         records=outcome.records,
+        # counters(), not stats(): the per-compile snapshot must never
+        # pay a directory scan of the disk tier on the hot path
+        cache_stats=(
+            pipeline.cache.counters() if pipeline.cache is not None else None
+        ),
     )
 
 
@@ -220,8 +237,15 @@ class SweepResult:
 
 
 def _compile_task(task: Tuple) -> CompilationResult:
-    """Process-pool entry: re-resolve the cache path and compile."""
+    """Process-pool entry: re-resolve the cache spec and compile.
+
+    A dict spec rebuilds a disk-backed :class:`PassCache` in the
+    worker, including the parent's eviction budgets; strings pass
+    through :func:`_resolve_cache` unchanged.
+    """
     workload, target, flow, verify, cache_spec = task
+    if isinstance(cache_spec, dict):
+        cache_spec = PassCache(**cache_spec)
     return compile(
         workload, target=target, flow=flow, verify=verify, cache=cache_spec
     )
@@ -269,10 +293,16 @@ class CompilerSession:
         self.max_workers = max_workers
         self.executor = executor
         # what a process-pool task carries to rebuild the cache in the
-        # worker: a disk path (shared tier) or "shared"/None; a purely
-        # in-memory PassCache cannot cross the process boundary
+        # worker: a disk spec (shared tier, with eviction budgets) or
+        # "shared"/None; a purely in-memory PassCache cannot cross the
+        # process boundary
         if self.cache is not None and self.cache.path is not None:
-            self._cache_spec: Union[PassCache, str, None] = self.cache.path
+            self._cache_spec: Union[Dict[str, Any], PassCache, str, None] = {
+                "path": self.cache.path,
+                "maxsize": self.cache.maxsize,
+                "max_entries": self.cache.max_entries,
+                "max_bytes": self.cache.max_bytes,
+            }
         elif isinstance(cache, PassCache) and executor == "process":
             raise PipelineError(
                 "executor='process' cannot share an in-memory "
@@ -342,6 +372,71 @@ class CompilerSession:
                 )
             )
 
+    async def _run_batch_async(
+        self,
+        tasks: List[Tuple[Any, Union[Target, str, None], Union[Flow, None]]],
+        max_in_flight: Optional[int] = None,
+    ) -> List[CompilationResult]:
+        """Fan (workload, target, flow) tasks out on the event loop.
+
+        Each task becomes one future on the running loop, executed on
+        a private thread (or process) pool; an
+        :class:`asyncio.Semaphore` bounds how many are in flight at
+        once.  Results are gathered in task order (deterministic), the
+        first failing job cancels the not-yet-started ones and
+        re-raises its exception unwrapped, and an outer cancellation
+        propagates to every pending job.  Already-running jobs finish
+        on their worker in the background; their results are
+        discarded.
+        """
+        if not tasks:
+            return []
+        loop = asyncio.get_running_loop()
+        limit = max_in_flight or self.max_workers or min(len(tasks), 8)
+        semaphore = asyncio.Semaphore(limit)
+        if self.executor == "process":
+            pool: Union[ProcessPoolExecutor, ThreadPoolExecutor]
+            pool = ProcessPoolExecutor(max_workers=self.max_workers or limit)
+
+            def submit(task):
+                """Ship one task to a worker process."""
+                workload, target, flow = task
+                payload = (
+                    workload, target, flow, self.verify, self._cache_spec
+                )
+                return loop.run_in_executor(pool, _compile_task, payload)
+
+        else:
+            pool = ThreadPoolExecutor(max_workers=limit)
+
+            def submit(task):
+                """Run one task on the shared-cache thread pool."""
+                call = functools.partial(
+                    self.compile, task[0], target=task[1], flow=task[2]
+                )
+                return loop.run_in_executor(pool, call)
+
+        async def run_one(task):
+            """Await one job under the in-flight semaphore."""
+            async with semaphore:
+                return await submit(task)
+
+        jobs = [asyncio.ensure_future(run_one(task)) for task in tasks]
+        try:
+            return await asyncio.gather(*jobs)
+        except BaseException:
+            # first failure (or outer cancellation): cancel every job
+            # not yet handed to the executor and reap the wrappers.
+            # Jobs already running on a worker cannot be interrupted —
+            # they finish in the background and their results are
+            # discarded (at most max_in_flight of them).
+            for job in jobs:
+                job.cancel()
+            await asyncio.gather(*jobs, return_exceptions=True)
+            raise
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
     def compile_many(
         self,
         workloads: Sequence[Any],
@@ -365,6 +460,40 @@ class CompilerSession:
         target = target if target is not None else self.target
         flow = flow if flow is not None else self.flow
         return self._run_batch([(w, target, flow) for w in workloads])
+
+    async def compile_many_async(
+        self,
+        workloads: Sequence[Any],
+        target: Union[Target, str, None] = None,
+        flow: Union[Flow, str, None] = None,
+        max_in_flight: Optional[int] = None,
+    ) -> List[CompilationResult]:
+        """Compile a batch of workloads on the asyncio event loop.
+
+        Like :meth:`compile_many`, but awaitable: independent
+        compilations overlap (each job is its own future on the
+        running loop) while a semaphore caps how many are in flight.
+        Results come back in workload order; the first failing job
+        cancels the rest and its exception propagates unwrapped;
+        cancelling the returned coroutine cancels every pending job.
+
+        Args:
+            workloads: the workload batch.
+            target: per-batch target override.
+            flow: per-batch flow override.
+            max_in_flight: in-flight concurrency bound (defaults to
+                the session's ``max_workers``, else ``min(len, 8)``).
+
+        Returns:
+            One :class:`~.result.CompilationResult` per workload, in
+            input order.
+        """
+        target = target if target is not None else self.target
+        flow = flow if flow is not None else self.flow
+        return await self._run_batch_async(
+            [(w, target, flow) for w in workloads],
+            max_in_flight=max_in_flight,
+        )
 
     # ------------------------------------------------------------------
     def _sweep_point(
@@ -442,6 +571,58 @@ class CompilerSession:
                 resolution, so the sweep parameters would silently
                 not apply.
         """
+        assignments, tasks = self._sweep_tasks(param_grid, base)
+        results = self._run_batch(tasks)
+        return SweepResult(
+            points=[
+                SweepPoint(params=assignment, result=result)
+                for assignment, result in zip(assignments, results)
+            ]
+        )
+
+    async def sweep_async(
+        self,
+        param_grid: Dict[str, Sequence[Any]],
+        base: Any = None,
+        max_in_flight: Optional[int] = None,
+    ) -> SweepResult:
+        """Sweep a parameter grid on the asyncio event loop.
+
+        Same grid semantics and deterministic point order as
+        :meth:`sweep`, executed like
+        :meth:`compile_many_async` — overlapped futures under a
+        bounded semaphore, fail-fast exception propagation, and
+        cooperative cancellation.
+
+        Args:
+            param_grid: mapping of parameter name to values to sweep.
+            base: workload for points not selecting one via generator
+                keys.
+            max_in_flight: in-flight concurrency bound (defaults to
+                the session's ``max_workers``, else ``min(len, 8)``).
+
+        Returns:
+            The :class:`SweepResult`, one point per grid assignment.
+
+        Raises:
+            PipelineError: when the session carries a ``flow=``
+                override (see :meth:`sweep`).
+        """
+        assignments, tasks = self._sweep_tasks(param_grid, base)
+        results = await self._run_batch_async(
+            tasks, max_in_flight=max_in_flight
+        )
+        return SweepResult(
+            points=[
+                SweepPoint(params=assignment, result=result)
+                for assignment, result in zip(assignments, results)
+            ]
+        )
+
+    def _sweep_tasks(
+        self, param_grid: Dict[str, Sequence[Any]], base: Any
+    ) -> Tuple[List[Dict[str, Any]], List[Tuple]]:
+        """Expand a grid into (assignments, batch tasks), in order."""
         if self.flow is not None:
             raise PipelineError(
                 "cannot sweep on a session with a flow= override: the "
@@ -455,21 +636,24 @@ class CompilerSession:
             itertools.product(*(list(param_grid[k]) for k in keys))
         )
         assignments = [dict(zip(keys, combo)) for combo in combos]
-        results = self._run_batch(
-            [
-                self._sweep_point(assignment, base) + (None,)
-                for assignment in assignments
-            ]
-        )
-        return SweepResult(
-            points=[
-                SweepPoint(params=assignment, result=result)
-                for assignment, result in zip(assignments, results)
-            ]
-        )
+        tasks = [
+            self._sweep_point(assignment, base) + (None,)
+            for assignment in assignments
+        ]
+        return assignments, tasks
 
     def cache_stats(self) -> Dict[str, int]:
-        """Return the shared cache's entry/hit/miss counters."""
+        """Return the shared cache's entry/hit/miss/eviction counters."""
         if self.cache is None:
-            return {"entries": 0, "hits": 0, "misses": 0, "disk_hits": 0}
+            return {
+                "entries": 0,
+                "hits": 0,
+                "misses": 0,
+                "disk_hits": 0,
+                "evictions": 0,
+                "memory_evictions": 0,
+                "disk_evictions": 0,
+                "disk_entries": 0,
+                "disk_bytes": 0,
+            }
         return self.cache.stats()

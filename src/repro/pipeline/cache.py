@@ -19,18 +19,32 @@ rooted at the same path persists across processes and sessions.  Only
 values with a registered JSON codec spill (circuits, specifications,
 routing results, statistics); entries carrying opaque artifacts stay
 memory-only.
+
+The disk tier has a bounded lifecycle: ``max_entries``/``max_bytes``
+budgets trigger an LRU sweep (:meth:`PassCache.gc`) ordered by each
+entry file's access stamp (its mtime, touched on every disk hit).
+Entries are generation-stamped and written atomically
+(``os.replace``), so concurrent writers can never produce a torn
+read; in-flight entries — pinned via :meth:`PassCache.pin` while a
+pipeline is computing or replaying them — are never evicted by this
+instance's own sweeps.  Pins live in the instance, so a sweep run by
+a different instance or process (e.g. ``python -m repro cache gc``)
+cannot see them; crossing that line costs a recompute, never
+corruption.
 """
 
 from __future__ import annotations
 
 import copy
 import hashlib
+import itertools
 import json
 import os
 import re
 import threading
+import time
 from collections import OrderedDict
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..boolean.permutation import BitPermutation
 from ..boolean.truth_table import TruthTable
@@ -43,11 +57,27 @@ from ..synthesis.reversible import MctGate, ReversibleCircuit
 DEFAULT_MAXSIZE = 512
 
 #: On-disk entry format version; bumped when the schema changes.
-DISK_FORMAT = 1
+#: Version 2 added the generation stamp (``gen``) written by every
+#: spill, so readers can tell two atomic rewrites of one key apart.
+DISK_FORMAT = 2
 
 #: Names of the entry files the disk tier owns (sha256 hex + .json);
-#: ``clear(disk=True)`` deletes only these.
+#: ``clear(disk=True)`` and :meth:`PassCache.gc` touch only these.
 _ENTRY_FILE_RE = re.compile(r"[0-9a-f]{64}\.json")
+
+#: Spill temp files older than this many seconds are presumed leaked
+#: (a crashed writer) and removed by :meth:`PassCache.gc`.
+_STALE_TMP_SECONDS = 300.0
+
+#: Per-process monotonic generation counter for disk entry stamps.
+_GENERATION = itertools.count(1)
+
+
+def _slack(budget: Optional[int]) -> Optional[int]:
+    """Return ~75% of a budget — the auto-gc hysteresis target."""
+    if budget is None:
+        return None
+    return max(budget - max(1, budget // 4), 0)
 
 
 def _copy_value(value: Any) -> Any:
@@ -201,36 +231,154 @@ class PassCache:
 
     Args:
         maxsize: in-memory entry cap; the least recently used entry is
-            evicted first.  ``None`` disables eviction.  Disk entries
-            are never evicted.
+            evicted first.  ``None`` disables eviction.
         path: optional directory for the persistent tier; entries with
             JSON-codable values are written there and reloaded on a
             memory miss, including from other processes.
+        max_entries: disk-tier entry budget; a spill that pushes the
+            running tally past it triggers an LRU :meth:`gc` sweep.
+            ``None`` leaves the tier unbounded.
+        max_bytes: disk-tier byte budget, enforced like
+            ``max_entries``.
     """
 
     def __init__(
         self,
         maxsize: Optional[int] = DEFAULT_MAXSIZE,
         path: Optional[str] = None,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
     ) -> None:
         """Create an empty cache with the given capacity and tier."""
         self.maxsize = maxsize
         self.path = os.fspath(path) if path is not None else None
         if self.path is not None:
             os.makedirs(self.path, exist_ok=True)
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self.memory_evictions = 0
+        self.disk_evictions = 0
         self._lock = threading.RLock()
         self._entries: (
             "OrderedDict[str, Tuple[Dict[str, Any], Dict[str, Any], bool]]"
         )
         self._entries = OrderedDict()
+        # key -> pin count: pinned entries are never evicted by the
+        # memory LRU cap or by gc() — they are in flight in a pipeline
+        self._pins: Dict[str, int] = {}
+        # entry-file basename -> pin count: the disk-tier view of the
+        # same pins, maintained eagerly so gc's per-file check is an
+        # O(1) lookup under the lock instead of hashing every pin
+        self._pin_names: Dict[str, int] = {}
+        # key -> (completion event, owning thread ident): the
+        # single-flight registry Pipeline.apply uses so concurrent
+        # flows computing the same key run it once
+        self._inflight: Dict[str, Tuple[threading.Event, int]] = {}
+        # this process's running (entries, bytes) view of the disk
+        # tier, seeded lazily by one scan and resynced by every gc();
+        # keeps budget checks and stats() off the listdir/stat path.
+        # _tally_writes counts additive mutations (spills, drops) so
+        # gc() can tell whether its unlocked directory scan went
+        # stale; _tally_resets counts destructive ones (clear), which
+        # additionally forbid installing a concurrently-taken seed.
+        self._disk_tally: Optional[Tuple[int, int]] = None
+        self._tally_writes = 0
+        self._tally_resets = 0
+        # keys this process knows to have an entry file (spilled or
+        # loaded): gates the LRU access stamp so memory hits on
+        # never-spilled entries skip a guaranteed-failing utime
+        self._spilled: set = set()
 
     def __len__(self) -> int:
         """Return the number of in-memory entries."""
         with self._lock:
             return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # pinning and single-flight (in-flight entry lifecycle)
+    # ------------------------------------------------------------------
+    def _pin_locked(self, key: str) -> None:
+        """Add one pin for ``key`` (caller holds the lock)."""
+        self._pins[key] = self._pins.get(key, 0) + 1
+        if self.path is not None:
+            name = os.path.basename(self._entry_path(key))
+            self._pin_names[name] = self._pin_names.get(name, 0) + 1
+
+    def _unpin_locked(self, key: str) -> None:
+        """Release one pin for ``key`` (caller holds the lock)."""
+        count = self._pins.get(key, 0) - 1
+        if count > 0:
+            self._pins[key] = count
+        else:
+            self._pins.pop(key, None)
+        if self.path is not None:
+            name = os.path.basename(self._entry_path(key))
+            count = self._pin_names.get(name, 0) - 1
+            if count > 0:
+                self._pin_names[name] = count
+            else:
+                self._pin_names.pop(name, None)
+
+    def pin(self, key: str) -> None:
+        """Protect ``key`` from eviction until :meth:`unpin`.
+
+        Pins nest (a count per key); both the memory LRU cap and
+        :meth:`gc` skip pinned entries.
+        """
+        with self._lock:
+            self._pin_locked(key)
+
+    def unpin(self, key: str) -> None:
+        """Release one :meth:`pin` of ``key``."""
+        with self._lock:
+            self._unpin_locked(key)
+
+    def pinned(self, key: str) -> bool:
+        """Return whether ``key`` currently holds any pins."""
+        with self._lock:
+            return self._pins.get(key, 0) > 0
+
+    def begin_compute(
+        self, key: str
+    ) -> Tuple[str, Optional[threading.Event]]:
+        """Claim (or observe) the in-flight computation of ``key``.
+
+        The caller must pair a ``"leader"`` claim with
+        :meth:`end_compute` (use ``try/finally``); the entry stays
+        pinned — safe from every eviction path — for the duration.
+
+        Returns:
+            ``("leader", event)`` — this caller should compute and
+            store the entry; ``("follower", event)`` — another thread
+            is computing it, wait on the event and re-read the cache;
+            ``("reentrant", None)`` — this thread is already the
+            leader for the key (a nested flow), compute directly
+            without waiting to avoid self-deadlock.
+        """
+        me = threading.get_ident()
+        with self._lock:
+            inflight = self._inflight.get(key)
+            if inflight is None:
+                event = threading.Event()
+                self._inflight[key] = (event, me)
+                self._pin_locked(key)
+                return "leader", event
+            event, owner = inflight
+            if owner == me:
+                return "reentrant", None
+            return "follower", event
+
+    def end_compute(self, key: str) -> None:
+        """Release a ``"leader"`` claim and wake the key's followers."""
+        with self._lock:
+            inflight = self._inflight.pop(key, None)
+            if inflight is not None:
+                self._unpin_locked(key)
+        if inflight is not None:
+            inflight[0].set()
 
     # ------------------------------------------------------------------
     # disk tier
@@ -252,6 +400,7 @@ class PassCache:
                 {
                     "format": DISK_FORMAT,
                     "key": key,
+                    "gen": [os.getpid(), next(_GENERATION)],
                     "verified": verified,
                     "outputs": {k: _encode(v) for k, v in outputs.items()},
                     "details": {k: _encode(v) for k, v in details.items()},
@@ -260,23 +409,70 @@ class PassCache:
         except (_Unspillable, TypeError, ValueError):
             return
         target = self._entry_path(key)
-        tmp = f"{target}.tmp.{os.getpid()}"
+        # the generation stamp plus the atomic os.replace make
+        # concurrent writers safe: readers see either the old or the
+        # new complete entry, never a torn mix of the two
+        tmp = f"{target}.tmp.{os.getpid()}.{threading.get_ident()}"
         try:
             with open(tmp, "w") as stream:
                 stream.write(payload)
-            os.replace(tmp, target)
         except OSError:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
+            return
+        # stat + replace + tally update are one locked step, so two
+        # racing spills of the same new key cannot both see "no
+        # previous file" and double-count the entry
+        with self._lock:
+            try:
+                previous_size: Optional[int] = os.stat(target).st_size
+            except OSError:
+                previous_size = None
+            try:
+                os.replace(tmp, target)
+            except OSError:
+                replaced = False
+            else:
+                replaced = True
+                self._spilled.add(key)
+                # bump unconditionally: gc()/_disk_usage() use this to
+                # detect spills landing during their unlocked scans
+                # even while the tally itself is still unseeded
+                self._tally_writes += 1
+                if self._disk_tally is not None:
+                    entries, size = self._disk_tally
+                    self._disk_tally = (
+                        entries + (previous_size is None),
+                        size + len(payload) - (previous_size or 0),
+                    )
+        if not replaced:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        if self.max_entries is not None or self.max_bytes is not None:
+            entries, size = self._disk_usage()
+            if (
+                self.max_entries is not None and entries > self.max_entries
+            ) or (self.max_bytes is not None and size > self.max_bytes):
+                # hysteresis: sweep ~25% below the budget so a tier
+                # sitting at its cap does not pay a full directory
+                # scan on every subsequent spill
+                self.gc(
+                    max_entries=_slack(self.max_entries),
+                    max_bytes=_slack(self.max_bytes),
+                )
 
     def _load(
         self, key: str
     ) -> Optional[Tuple[Dict[str, Any], Dict[str, Any], bool]]:
         """Read one entry back from the disk tier, if present."""
+        entry_path = self._entry_path(key)
         try:
-            with open(self._entry_path(key)) as stream:
+            with open(entry_path) as stream:
                 payload = json.load(stream)
         except (OSError, ValueError):
             return None
@@ -285,6 +481,11 @@ class PassCache:
             or payload.get("key") != key
         ):
             return None
+        try:
+            # bump the LRU access stamp gc() orders evictions by
+            os.utime(entry_path, None)
+        except OSError:
+            pass
         return (
             {k: _decode(v) for k, v in payload["outputs"].items()},
             {k: _decode(v) for k, v in payload["details"].items()},
@@ -293,12 +494,18 @@ class PassCache:
 
     # ------------------------------------------------------------------
     def get(
-        self, key: str
+        self, key: str, count_miss: bool = True
     ) -> Optional[Tuple[Dict[str, Any], Dict[str, Any], bool]]:
         """Look up ``key`` and return ``(outputs, details, verified)``.
 
         Args:
             key: content key built by the pipeline.
+            count_miss: whether a miss bumps the ``misses`` counter.
+                The pipeline's first probe passes ``False`` and
+                accounts the miss itself once it knows whether the
+                lookup ends in a computation or in a single-flight
+                replay — otherwise every replayed follower would log
+                one spurious miss per wait.
 
         Returns:
             A fresh copy of the stored output fields, the recorded
@@ -311,6 +518,18 @@ class PassCache:
             if entry is not None:
                 self.hits += 1
                 self._entries.move_to_end(key)
+                on_disk = key in self._spilled
+        if entry is not None and self.path is not None and on_disk:
+            # keep the disk LRU stamp in sync with memory-tier reuse,
+            # or gc would evict the hottest shared-prefix entries
+            # first (their files would never look recently used)
+            try:
+                os.utime(self._entry_path(key), None)
+            except OSError:
+                # the file was evicted (gc/other process): forget it,
+                # so later hits stop paying a guaranteed-failing touch
+                with self._lock:
+                    self._spilled.discard(key)
         if entry is None and self.path is not None:
             # file I/O happens outside the lock; insertion re-checks
             loaded = self._load(key)
@@ -322,10 +541,12 @@ class PassCache:
                     entry = loaded
                     self.disk_hits += 1
                     self.hits += 1
+                    self._spilled.add(key)
                     self._store(key, entry)
         if entry is None:
-            with self._lock:
-                self.misses += 1
+            if count_miss:
+                with self._lock:
+                    self.misses += 1
             return None
         # entry tuples are replaced wholesale, never mutated in place,
         # so the defensive copy can run without holding the lock
@@ -335,6 +556,11 @@ class PassCache:
             dict(details),
             verified,
         )
+
+    def count_miss(self) -> None:
+        """Record one cache miss (see ``get(count_miss=False)``)."""
+        with self._lock:
+            self.misses += 1
 
     def _store(
         self,
@@ -346,7 +572,21 @@ class PassCache:
         self._entries.move_to_end(key)
         if self.maxsize is not None:
             while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
+                victim = None
+                for candidate in self._entries:
+                    # skip in-flight entries and the entry being
+                    # inserted right now — never evicted; like gc(),
+                    # prefer a transiently-over-budget tier to
+                    # dropping either.  The scan stops at the first
+                    # evictable key, so the common (pin-free) case
+                    # stays O(1) per insert.
+                    if candidate != key and not self._pins.get(candidate):
+                        victim = candidate
+                        break
+                if victim is None:
+                    break  # everything is pinned — allow the overflow
+                del self._entries[victim]
+                self.memory_evictions += 1
 
     def put(
         self,
@@ -391,10 +631,20 @@ class PassCache:
         with self._lock:
             self._entries.pop(key, None)
             if self.path is not None:
+                self._spilled.discard(key)
+                entry_path = self._entry_path(key)
                 try:
-                    os.unlink(self._entry_path(key))
+                    size = os.stat(entry_path).st_size
+                    os.unlink(entry_path)
                 except OSError:
                     pass
+                else:
+                    self._tally_writes += 1
+                    if self._disk_tally is not None:
+                        entries, total = self._disk_tally
+                        self._disk_tally = (
+                            max(entries - 1, 0), max(total - size, 0)
+                        )
 
     def clear(self, disk: bool = False) -> None:
         """Drop all in-memory entries and reset the counters.
@@ -409,6 +659,8 @@ class PassCache:
             self.hits = 0
             self.misses = 0
             self.disk_hits = 0
+            self.memory_evictions = 0
+            self.disk_evictions = 0
             if disk and self.path is not None:
                 for name in os.listdir(self.path):
                     if _ENTRY_FILE_RE.fullmatch(name):
@@ -416,16 +668,260 @@ class PassCache:
                             os.unlink(os.path.join(self.path, name))
                         except OSError:
                             pass
+                self._spilled.clear()
+                self._disk_tally = None  # reseed on next use
+                # invalidate any seeding scan that started pre-clear
+                self._tally_resets += 1
+
+    # ------------------------------------------------------------------
+    # disk-tier lifecycle
+    # ------------------------------------------------------------------
+    def _scan_disk(self) -> List[Tuple[str, str, float, int]]:
+        """List disk entries as ``(name, path, atime_stamp, size)``."""
+        if self.path is None:
+            return []
+        try:
+            names = os.listdir(self.path)
+        except OSError:
+            return []
+        entries = []
+        for name in names:
+            if not _ENTRY_FILE_RE.fullmatch(name):
+                continue
+            entry_path = os.path.join(self.path, name)
+            try:
+                status = os.stat(entry_path)
+            except OSError:
+                continue  # concurrently evicted — not an error
+            entries.append(
+                (name, entry_path, status.st_mtime, status.st_size)
+            )
+        return entries
+
+    def _disk_usage(self) -> Tuple[int, int]:
+        """Return this process's (entries, bytes) view of the tier.
+
+        Seeded by one directory scan on first use, then maintained
+        incrementally by spills/drops and resynced by every
+        :meth:`gc`, so the hot path never re-walks the directory.
+        Concurrent writers in other processes drift this view until
+        the next :meth:`gc` (which rescans).
+        """
+        if self.path is None:
+            return (0, 0)
+        with self._lock:
+            tally = self._disk_tally
+            resets_before = self._tally_resets
+        if tally is None:
+            scan = self._scan_disk()
+            tally = (len(scan), sum(item[3] for item in scan))
+            with self._lock:
+                if self._disk_tally is not None:
+                    # another thread seeded (and kept current) first
+                    tally = self._disk_tally
+                elif self._tally_resets == resets_before:
+                    # spills racing the scan leave this seed off by at
+                    # most the in-flight writes (gc() resyncs); still
+                    # installing it keeps sustained-contention spills
+                    # from re-walking the directory every time
+                    self._disk_tally = tally
+                # else: a clear() landed mid-scan — never install
+                # pre-clear totals; reseed on next use
+        return tally
+
+    def _unlink_if_unpinned(self, name: str, entry_path: str) -> Optional[bool]:
+        """Delete one entry file unless its key is pinned right now.
+
+        The pin check and the unlink happen under the cache lock —
+        the same lock :meth:`pin`/:meth:`begin_compute` take — so a
+        pin can never slip in between check and delete.
+
+        Returns:
+            ``True`` when unlinked, ``False`` when skipped because
+            the key is in flight, ``None`` when the file was already
+            gone (another process evicted it first).
+        """
+        with self._lock:
+            if self._pin_names.get(name, 0) > 0:
+                return False
+            try:
+                os.unlink(entry_path)
+            except OSError:
+                return None
+            return True
+
+    def gc(
+        self,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        validate: bool = False,
+    ) -> Dict[str, int]:
+        """Sweep the disk tier down to its budgets (LRU order).
+
+        Entries are evicted oldest-access-stamp first until both the
+        entry and the byte budget hold.  Entries pinned in this cache
+        instance — in flight in a pipeline — are never evicted, even
+        if that leaves a budget exceeded (pins in other instances or
+        processes are invisible here; evicting their entries costs a
+        recompute, never corruption).  Leaked spill temp files older
+        than five minutes are removed as well.
+
+        Args:
+            max_entries: per-call entry budget overriding the
+                instance's ``max_entries``.
+            max_bytes: per-call byte budget overriding ``max_bytes``.
+            validate: additionally parse every entry file and drop the
+                corrupt or foreign-format ones (CLI maintenance mode).
+
+        Returns:
+            A dict with ``scanned``, ``evicted``, ``pinned`` (skipped
+            in-flight entries) and the surviving ``entries``/``bytes``.
+        """
+        if self.path is None:
+            return {
+                "scanned": 0,
+                "evicted": 0,
+                "pinned": 0,
+                "entries": 0,
+                "bytes": 0,
+            }
+        limit_entries = (
+            max_entries if max_entries is not None else self.max_entries
+        )
+        limit_bytes = max_bytes if max_bytes is not None else self.max_bytes
+        with self._lock:
+            tally_writes_before = self._tally_writes
+            tally_resets_before = self._tally_resets
+        now = time.time()
+        try:
+            for name in os.listdir(self.path):
+                if ".json.tmp." not in name:
+                    continue
+                stale = os.path.join(self.path, name)
+                try:
+                    if now - os.stat(stale).st_mtime > _STALE_TMP_SECONDS:
+                        os.unlink(stale)
+                except OSError:
+                    pass
+        except OSError:
+            pass
+        entries = self._scan_disk()
+        scanned = len(entries)
+        evicted = 0
+        if validate:
+            survivors = []
+            for name, entry_path, stamp, size in entries:
+                try:
+                    with open(entry_path) as stream:
+                        payload = json.load(stream)
+                    generation = payload.get("gen")
+                    valid = (
+                        payload.get("format") == DISK_FORMAT
+                        and "key" in payload
+                        and "outputs" in payload
+                        and isinstance(generation, list)
+                        and len(generation) == 2
+                    )
+                except (OSError, ValueError):
+                    valid = False
+                if valid:
+                    survivors.append((name, entry_path, stamp, size))
+                    continue
+                unlinked = self._unlink_if_unpinned(name, entry_path)
+                if unlinked:
+                    evicted += 1
+                elif unlinked is False:  # in flight — keep it
+                    survivors.append((name, entry_path, stamp, size))
+            entries = survivors
+        entries.sort(key=lambda item: item[2])  # oldest access first
+        total_entries = len(entries)
+        total_bytes = sum(item[3] for item in entries)
+        skipped_pins = 0
+        for name, entry_path, _stamp, size in entries:
+            over_budget = (
+                limit_entries is not None and total_entries > limit_entries
+            ) or (limit_bytes is not None and total_bytes > limit_bytes)
+            if not over_budget:
+                break
+            unlinked = self._unlink_if_unpinned(name, entry_path)
+            if unlinked is False:  # pinned at delete time — in flight
+                skipped_pins += 1
+                continue
+            if unlinked is None:  # another process won the race
+                total_entries -= 1
+                total_bytes -= size
+                continue
+            evicted += 1
+            total_entries -= 1
+            total_bytes -= size
+        with self._lock:
+            self.disk_evictions += evicted
+            if (
+                self._tally_writes == tally_writes_before
+                and self._tally_resets == tally_resets_before
+            ):
+                self._disk_tally = (total_entries, total_bytes)
+            else:
+                # a spill or clear landed during the (unlocked) scan,
+                # so these totals are stale — drop the tally; the next
+                # _disk_usage() reseeds it with one scan
+                self._disk_tally = None
+        return {
+            "scanned": scanned,
+            "evicted": evicted,
+            "pinned": skipped_pins,
+            "entries": total_entries,
+            "bytes": total_bytes,
+        }
 
     def stats(self) -> Dict[str, int]:
-        """Return ``{"entries", "hits", "misses", "disk_hits"}``."""
+        """Return the cache's counters and tier sizes.
+
+        Returns:
+            A dict with the in-memory ``entries``, the ``hits`` /
+            ``misses`` / ``disk_hits`` counters, the total
+            ``evictions`` (memory LRU plus disk gc, with the
+            ``memory_evictions`` / ``disk_evictions`` split), and the
+            disk tier's ``disk_entries`` / ``disk_bytes`` (this
+            process's incrementally-maintained view — one directory
+            scan on first use, resynced by every :meth:`gc`).
+        """
+        disk_entries, disk_bytes = self._disk_usage()
         with self._lock:
-            return {
-                "entries": len(self._entries),
-                "hits": self.hits,
-                "misses": self.misses,
-                "disk_hits": self.disk_hits,
-            }
+            return self._counters_locked(disk_entries, disk_bytes)
+
+    def counters(self) -> Dict[str, Optional[int]]:
+        """Return :meth:`stats` without ever scanning the directory.
+
+        The hot-path variant (every compilation snapshots this): the
+        ``disk_entries`` / ``disk_bytes`` figures come from the
+        running tally when this process has already seeded it (budget
+        enforcement or a prior :meth:`stats`/:meth:`gc` call) and are
+        ``None`` otherwise — call :meth:`stats` when an exact disk
+        view is worth a scan.
+        """
+        with self._lock:
+            tally = self._disk_tally if self.path is not None else (0, 0)
+            disk_entries, disk_bytes = tally if tally is not None else (
+                None, None
+            )
+            return self._counters_locked(disk_entries, disk_bytes)
+
+    def _counters_locked(
+        self, disk_entries: Optional[int], disk_bytes: Optional[int]
+    ) -> Dict[str, Optional[int]]:
+        """Assemble the stats payload (caller holds the lock)."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "evictions": self.memory_evictions + self.disk_evictions,
+            "memory_evictions": self.memory_evictions,
+            "disk_evictions": self.disk_evictions,
+            "disk_entries": disk_entries,
+            "disk_bytes": disk_bytes,
+        }
 
 
 _SHARED: Optional[PassCache] = None

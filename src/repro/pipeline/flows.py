@@ -108,7 +108,7 @@ class Flow:
                     + ", ".join(f"{name}=" for name in valid)
                 )
             runner = Pipeline(**pipeline_options)
-        return runner.run(self.passes, state)
+        return runner.run(self.passes, state, flow_name=self.name)
 
     def __str__(self) -> str:
         """Return ``name: pass1 -> pass2 -> ...``."""

@@ -25,9 +25,23 @@ from .cache import PassCache, shared_cache
 from .passes import Pass
 from .state import FlowState, PipelineError, state_key
 
+#: How long a follower waits for another thread computing the same
+#: cache key before giving up and computing the pass itself.
+SINGLE_FLIGHT_TIMEOUT = 60.0
+
 
 class VerificationError(PipelineError):
     """Raised when a pass breaks the flow's functional semantics."""
+
+
+def _flow_context(
+    flow_name: Optional[str], index: int, total: int, pass_: "Pass"
+) -> str:
+    """Name the failing step: flow, 1-based pass index, name, stage."""
+    where = f"pass {index + 1}/{total} ({pass_.name!r}, stage {pass_.stage!r})"
+    if flow_name:
+        return f"flow {flow_name!r} {where}"
+    return where
 
 
 def state_metrics(state: FlowState) -> Dict[str, Any]:
@@ -218,6 +232,16 @@ class Pipeline:
     ) -> Tuple[FlowState, PassRecord]:
         """Run one pass on ``state`` and record what happened.
 
+        Concurrent flows sharing one :class:`~.cache.PassCache` are
+        safe here: a cache miss claims the key in the cache's
+        single-flight registry, so a second thread arriving at the
+        same key waits for the first result and replays it instead of
+        recomputing, and the entry stays pinned (exempt from LRU
+        eviction and :meth:`~.cache.PassCache.gc`) while in flight.
+        No lock is held while a pass runs, and a nested flow that
+        re-enters the same key on the same thread computes directly
+        instead of deadlocking on itself.
+
         Args:
             pass_: the pass to execute.
             state: the incoming store (never mutated).
@@ -238,86 +262,164 @@ class Pipeline:
         )
         key = ""
         started = time.perf_counter()
-        cached = None
         if cacheable:
             key = self._cache_key(pass_, state)
-            cached = self.cache.get(key)
-        if cached is not None:
-            outputs, details, verified = cached
-            result = self._apply_outputs(state, outputs)
-            seconds = time.perf_counter() - started
-            if self.verify and not verified:
-                failure = pass_.verify(state, result)
-                if failure is not None:
-                    # never replay a broken entry again
-                    self.cache.drop(key)
-                    raise VerificationError(
-                        f"pass {pass_.name!r}: {failure}"
-                    )
-                self.cache.mark_verified(key)
-            record = PassRecord(
-                name=pass_.name,
-                stage=pass_.stage,
-                seconds=seconds,
-                cache_hit=True,
-                before=state_metrics(state),
-                after=state_metrics(result),
-                details=details,
-            )
-        else:
-            run_started = time.perf_counter()
-            result = pass_.run(state)
-            seconds = time.perf_counter() - run_started
-            details = pass_.statistics(state, result)
-            if self.verify:
-                # verify BEFORE caching: a broken result must never be
-                # stored, or later verify=False runs would replay it
-                failure = pass_.verify(state, result)
-                if failure is not None:
-                    raise VerificationError(
-                        f"pass {pass_.name!r}: {failure}"
-                    )
-            record = PassRecord(
-                name=pass_.name,
-                stage=pass_.stage,
-                seconds=seconds,
-                cache_hit=False,
-                before=state_metrics(state),
-                after=state_metrics(result),
-                details=details,
-            )
-            if cacheable:
-                self.cache.put(
-                    key,
-                    self._collect_outputs(pass_, state, result),
-                    details,
-                    verified=self.verify,
+            # the first probe does not count a miss: a follower that
+            # ends up replaying the leader's result was one logical
+            # hit, not a miss-then-hit
+            cached = self.cache.get(key, count_miss=False)
+            if cached is not None:
+                return self._finish(
+                    self._replay(pass_, state, key, cached, started)
                 )
-        self.history.append(record)
+            role, event = self.cache.begin_compute(key)
+            if role == "follower":
+                # another thread is computing this key — wait for it
+                # and replay; on timeout or eviction, compute anyway
+                event.wait(SINGLE_FLIGHT_TIMEOUT)
+                # restart the clock: the wait is the leader's compute
+                # time and must not be billed to this replay record
+                started = time.perf_counter()
+                cached = self.cache.get(key)
+                if cached is not None:
+                    return self._finish(
+                        self._replay(pass_, state, key, cached, started)
+                    )
+                role, event = self.cache.begin_compute(key)
+            else:
+                self.cache.count_miss()
+            if role == "leader":
+                try:
+                    return self._finish(
+                        self._execute(pass_, state, key, cacheable)
+                    )
+                finally:
+                    self.cache.end_compute(key)
+            # "reentrant": this thread already leads the key (a nested
+            # flow) — fall through and compute without the registry
+        return self._finish(self._execute(pass_, state, key, cacheable))
+
+    def _finish(
+        self, outcome: Tuple[FlowState, PassRecord]
+    ) -> Tuple[FlowState, PassRecord]:
+        """Append the record to :attr:`history` and pass through."""
+        self.history.append(outcome[1])
+        return outcome
+
+    def _replay(
+        self,
+        pass_: Pass,
+        state: FlowState,
+        key: str,
+        cached: Tuple[Dict[str, Any], Dict[str, Any], bool],
+        started: float,
+    ) -> Tuple[FlowState, PassRecord]:
+        """Overlay a cached entry onto ``state`` and record the hit."""
+        outputs, details, verified = cached
+        result = self._apply_outputs(state, outputs)
+        seconds = time.perf_counter() - started
+        if self.verify and not verified:
+            failure = pass_.verify(state, result)
+            if failure is not None:
+                # never replay a broken entry again
+                self.cache.drop(key)
+                raise VerificationError(
+                    f"pass {pass_.name!r}: {failure}"
+                )
+            self.cache.mark_verified(key)
+        record = PassRecord(
+            name=pass_.name,
+            stage=pass_.stage,
+            seconds=seconds,
+            cache_hit=True,
+            before=state_metrics(state),
+            after=state_metrics(result),
+            details=details,
+        )
+        return result, record
+
+    def _execute(
+        self, pass_: Pass, state: FlowState, key: str, cacheable: bool
+    ) -> Tuple[FlowState, PassRecord]:
+        """Actually run the pass, verify, cache, and record it."""
+        run_started = time.perf_counter()
+        result = pass_.run(state)
+        seconds = time.perf_counter() - run_started
+        details = pass_.statistics(state, result)
+        if self.verify:
+            # verify BEFORE caching: a broken result must never be
+            # stored, or later verify=False runs would replay it
+            failure = pass_.verify(state, result)
+            if failure is not None:
+                raise VerificationError(
+                    f"pass {pass_.name!r}: {failure}"
+                )
+        record = PassRecord(
+            name=pass_.name,
+            stage=pass_.stage,
+            seconds=seconds,
+            cache_hit=False,
+            before=state_metrics(state),
+            after=state_metrics(result),
+            details=details,
+        )
+        if cacheable:
+            self.cache.put(
+                key,
+                self._collect_outputs(pass_, state, result),
+                details,
+                verified=self.verify,
+            )
         return result, record
 
     def run(
         self,
         passes: Union[Iterable[Pass], Any],
         state: Optional[FlowState] = None,
+        flow_name: Optional[str] = None,
     ) -> PipelineResult:
         """Execute a sequence of passes (or a flow) end to end.
+
+        A pass that raises mid-flow is re-raised with its position:
+        :class:`~.state.PipelineError` subclasses get the flow name
+        and ``pass i/n`` prefixed to their message, other exceptions
+        keep their type and message and gain a traceback note.
 
         Args:
             passes: an iterable of passes, or any object with a
                 ``passes`` attribute (a :class:`~.flows.Flow`).
             state: the initial store; a fresh empty one by default.
+            flow_name: name used in error context; inferred from
+                ``passes.name`` when a flow object is given.
 
         Returns:
             A :class:`PipelineResult` with the final store and the
             records of exactly this execution.
         """
         if hasattr(passes, "passes"):
+            if flow_name is None:
+                flow_name = getattr(passes, "name", None)
             passes = passes.passes
+        sequence = list(passes)
         current = state if state is not None else FlowState()
         records: List[PassRecord] = []
-        for pass_ in passes:
-            current, record = self.apply(pass_, current)
+        for index, pass_ in enumerate(sequence):
+            try:
+                current, record = self.apply(pass_, current)
+            except PipelineError as exc:
+                where = _flow_context(flow_name, index, len(sequence), pass_)
+                try:
+                    wrapped = type(exc)(f"{where}: {exc}")
+                except TypeError:
+                    # a subclass with a non-message constructor: keep
+                    # the exception intact, carry context as a note
+                    exc.add_note(f"while running {where}")
+                    raise
+                raise wrapped from exc
+            except Exception as exc:
+                where = _flow_context(flow_name, index, len(sequence), pass_)
+                exc.add_note(f"while running {where}")
+                raise
             records.append(record)
         return PipelineResult(state=current, records=records)
 

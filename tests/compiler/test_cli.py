@@ -134,6 +134,97 @@ class TestCompileCommand:
         assert "generator pass" in err
 
 
+class TestCacheCommand:
+    def _warm(self, run_cli, cache_dir):
+        code, _out, _err = run_cli(
+            "compile", "hwb=3", "--cache-dir", cache_dir
+        )
+        assert code == 0
+
+    def test_stats_json(self, run_cli, tmp_path):
+        cache_dir = str(tmp_path / "tier")
+        self._warm(run_cli, cache_dir)
+        code, out, _err = run_cli(
+            "cache", "stats", "--cache-dir", cache_dir, "--json"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["path"] == cache_dir
+        assert payload["entries"] > 0
+        assert payload["bytes"] > 0
+
+    def test_stats_text(self, run_cli, tmp_path):
+        cache_dir = str(tmp_path / "tier")
+        self._warm(run_cli, cache_dir)
+        code, out, _err = run_cli("cache", "stats", "--cache-dir", cache_dir)
+        assert code == 0
+        assert "entries" in out and "bytes" in out
+
+    def test_gc_enforces_budget(self, run_cli, tmp_path):
+        cache_dir = str(tmp_path / "tier")
+        self._warm(run_cli, cache_dir)
+        code, out, _err = run_cli(
+            "cache", "gc", "--cache-dir", cache_dir,
+            "--max-entries", "1", "--json",
+        )
+        assert code == 0
+        swept = json.loads(out)
+        assert swept["evicted"] > 0
+        assert swept["entries"] <= 1
+        # the surviving tier still works
+        code, out, _err = run_cli(
+            "cache", "stats", "--cache-dir", cache_dir, "--json"
+        )
+        assert code == 0
+        assert json.loads(out)["entries"] <= 1
+
+    def test_gc_drops_corrupt_entries(self, run_cli, tmp_path):
+        cache_dir = tmp_path / "tier"
+        self._warm(run_cli, str(cache_dir))
+        entries = sorted(cache_dir.glob("*.json"))
+        entries[0].write_text("{torn write")
+        code, out, _err = run_cli(
+            "cache", "gc", "--cache-dir", str(cache_dir), "--json"
+        )
+        assert code == 0
+        assert json.loads(out)["evicted"] == 1
+
+    def test_clear_empties_the_tier(self, run_cli, tmp_path):
+        cache_dir = str(tmp_path / "tier")
+        self._warm(run_cli, cache_dir)
+        code, out, _err = run_cli(
+            "cache", "clear", "--cache-dir", cache_dir, "--json"
+        )
+        assert code == 0
+        assert json.loads(out)["cleared"] > 0
+        code, out, _err = run_cli(
+            "cache", "stats", "--cache-dir", cache_dir, "--json"
+        )
+        assert code == 0
+        assert json.loads(out)["entries"] == 0
+
+    def test_missing_directory_exits_nonzero(self, run_cli, tmp_path):
+        for action in ("stats", "gc", "clear"):
+            code, _out, err = run_cli(
+                "cache", action, "--cache-dir", str(tmp_path / "nope")
+            )
+            assert code == 2
+            assert "does not exist" in err
+
+    def test_compile_after_gc_recompiles_evicted_passes(self, run_cli, tmp_path):
+        cache_dir = str(tmp_path / "tier")
+        self._warm(run_cli, cache_dir)
+        code, _out, _err = run_cli(
+            "cache", "gc", "--cache-dir", cache_dir, "--max-entries", "0"
+        )
+        assert code == 0
+        code, out, _err = run_cli(
+            "compile", "hwb=3", "--cache-dir", cache_dir
+        )
+        assert code == 0
+        assert "cached=0" in out  # everything was evicted, so cold
+
+
 class TestTargetsCommand:
     def test_lists_presets(self, run_cli):
         code, out, _err = run_cli("targets")

@@ -1,0 +1,189 @@
+"""Async session execution: ordering, bounds, cancellation, errors."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.boolean.permutation import BitPermutation
+from repro.compiler import CompilerSession
+from repro.pipeline import (
+    Flow,
+    PassCache,
+    PipelineError,
+    SynthesisPass,
+)
+from repro.synthesis.transformation import transformation_based_synthesis
+
+
+class TestCompileManyAsync:
+    def test_results_follow_input_order(self):
+        session = CompilerSession(
+            target="toffoli", cache=PassCache(), max_workers=4
+        )
+        workloads = [{"hwb": n} for n in (3, 4, 5)] * 2
+        results = asyncio.run(session.compile_many_async(workloads))
+        assert [r.reversible.num_lines for r in results] == [3, 4, 5, 3, 4, 5]
+
+    def test_matches_sync_batch(self):
+        workloads = [{"hwb": n} for n in (3, 4)]
+        sync = CompilerSession(target="clifford_t", cache=None).compile_many(
+            workloads
+        )
+        session = CompilerSession(target="clifford_t", cache=None)
+        batched = asyncio.run(session.compile_many_async(workloads))
+        for a, b in zip(sync, batched):
+            assert a.circuit.gates == b.circuit.gates
+
+    def test_empty_batch(self):
+        session = CompilerSession(cache=None)
+        assert asyncio.run(session.compile_many_async([])) == []
+
+    def test_usable_from_a_running_loop(self):
+        session = CompilerSession(target="toffoli", cache=PassCache())
+
+        async def story():
+            # two overlapping batches on one loop, one shared cache
+            first, second = await asyncio.gather(
+                session.compile_many_async([{"hwb": 3}]),
+                session.compile_many_async([{"hwb": 3}]),
+            )
+            return first[0], second[0]
+
+        one, other = asyncio.run(story())
+        assert one.reversible.gates == other.reversible.gates
+
+    def test_bounded_in_flight_concurrency(self):
+        active = {"now": 0, "peak": 0}
+        lock = threading.Lock()
+
+        def counting_synthesis(perm):
+            with lock:
+                active["now"] += 1
+                active["peak"] = max(active["peak"], active["now"])
+            try:
+                return transformation_based_synthesis(perm)
+            finally:
+                with lock:
+                    active["now"] -= 1
+
+        flow = Flow(
+            name="counting",
+            description="synthesis with a concurrency probe",
+            passes=(SynthesisPass(counting_synthesis),),
+        )
+        session = CompilerSession(cache=None, max_workers=8)
+        workloads = [
+            BitPermutation([(j + i) % 8 for j in range(8)])
+            for i in range(8)
+        ]
+        asyncio.run(
+            session.compile_many_async(workloads, flow=flow, max_in_flight=2)
+        )
+        assert active["peak"] <= 2
+
+    def test_exception_propagates_unwrapped(self):
+        session = CompilerSession(target="toffoli", cache=None)
+        with pytest.raises(TypeError, match="workload"):
+            asyncio.run(
+                session.compile_many_async([{"hwb": 3}, object()])
+            )
+
+    def test_pipeline_error_propagates_unwrapped(self):
+        session = CompilerSession(cache=None)
+        with pytest.raises(PipelineError, match="unknown flow"):
+            asyncio.run(
+                session.compile_many_async([{"hwb": 3}], flow="warp")
+            )
+
+    def test_failure_cancels_remaining_jobs(self):
+        started = []
+        lock = threading.Lock()
+
+        def tracking_synthesis(perm):
+            with lock:
+                started.append(perm)
+            return transformation_based_synthesis(perm)
+
+        flow = Flow(
+            name="tracking",
+            description="records which jobs ever started",
+            passes=(SynthesisPass(tracking_synthesis),),
+        )
+        session = CompilerSession(cache=None)
+        workloads = [object()] + [
+            BitPermutation(list(range(8))) for _ in range(16)
+        ]
+        with pytest.raises(TypeError):
+            asyncio.run(
+                session.compile_many_async(
+                    workloads, flow=flow, max_in_flight=1
+                )
+            )
+        # with the bad job first and one-at-a-time flight, the failure
+        # cancels the queue before most of it ever starts
+        assert len(started) < 16
+
+    def test_cancellation_propagates(self):
+        session = CompilerSession(target="clifford_t", cache=None)
+
+        async def cancel_midway():
+            batch = asyncio.ensure_future(
+                session.compile_many_async(
+                    [{"hwb": 6}] * 4, max_in_flight=1
+                )
+            )
+            await asyncio.sleep(0.01)
+            batch.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await batch
+
+        asyncio.run(cancel_midway())
+
+
+class TestSweepAsync:
+    GRID = {"hwb": [3, 4], "synthesis": ["tbs", "tbs-bidir"]}
+
+    def test_matches_sync_sweep(self):
+        serial = CompilerSession(cache=PassCache(), max_workers=1).sweep(
+            self.GRID
+        )
+        session = CompilerSession(cache=PassCache(), max_workers=4)
+        swept = asyncio.run(session.sweep_async(self.GRID))
+        assert [p.params for p in serial] == [p.params for p in swept]
+        for a, b in zip(serial, swept):
+            assert a.result.circuit.gates == b.result.circuit.gates
+
+    def test_rejects_flow_override(self):
+        session = CompilerSession(flow="eq5", cache=None)
+        with pytest.raises(PipelineError, match="flow= override"):
+            asyncio.run(session.sweep_async({"hwb": [3]}))
+
+    def test_shares_cache_with_sync_paths(self):
+        cache = PassCache()
+        session = CompilerSession(cache=cache, max_workers=4)
+        asyncio.run(session.sweep_async(self.GRID))
+        repeat = session.sweep(self.GRID)
+        assert all(
+            point.result.cache_hits == len(point.result.records)
+            for point in repeat
+        )
+
+
+class TestProcessExecutorAsync:
+    def test_process_pool_batch(self, tmp_path):
+        session = CompilerSession(
+            target="toffoli",
+            cache=str(tmp_path / "tier"),
+            executor="process",
+            max_workers=2,
+        )
+        results = asyncio.run(
+            session.compile_many_async([{"hwb": 3}, {"hwb": 4}])
+        )
+        assert [r.reversible.num_lines for r in results] == [3, 4]
+        # the disk tier the workers fed now serves this process
+        replay = CompilerSession(
+            target="toffoli", cache=str(tmp_path / "tier")
+        ).compile({"hwb": 4})
+        assert replay.cache_hits == len(replay.records)

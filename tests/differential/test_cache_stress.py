@@ -1,0 +1,305 @@
+"""Concurrency stress tests for the disk-backed pass cache.
+
+Many threads plus a process-pool session hammer one disk-backed
+:class:`~repro.pipeline.PassCache` under a deliberately tiny byte
+budget, so spills and eviction sweeps race with lookups the whole
+time.  The obligations: every compilation still produces the correct
+circuit, every entry file that survives parses as a complete
+generation-stamped entry (no torn writes), the budget holds once the
+dust settles, and ``gc()`` never evicts an entry that is in flight.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.compiler import CompilerSession
+from repro.pipeline import FlowState, PassCache, Pipeline, SimplifyPass
+from repro.pipeline.cache import DISK_FORMAT
+from repro.revkit import generators
+
+BYTE_BUDGET = 4096
+
+
+def _reference(n, target="clifford_t"):
+    return repro.compile({"hwb": n}, target=target, cache=None)
+
+
+class TestThreadStress:
+    def test_hammered_bounded_cache_stays_correct(self, tmp_path):
+        cache = PassCache(
+            maxsize=4, path=str(tmp_path), max_bytes=BYTE_BUDGET
+        )
+        session = CompilerSession(
+            target="clifford_t", cache=cache, max_workers=8
+        )
+        reference = {n: _reference(n) for n in (3, 4)}
+        workloads = [{"hwb": n} for n in (3, 4)] * 8
+        results = session.compile_many(workloads)
+        for workload, result in zip(workloads, results):
+            expected = reference[workload["hwb"]]
+            assert result.circuit.gates == expected.circuit.gates
+
+        # no corrupted entries: every surviving file is a complete,
+        # generation-stamped entry (atomic replace ⇒ no torn reads)
+        survivors = list(tmp_path.glob("*.json"))
+        for entry in survivors:
+            payload = json.loads(entry.read_text())
+            assert payload["format"] == DISK_FORMAT
+            assert "key" in payload and "outputs" in payload
+            assert len(payload["gen"]) == 2
+
+        # in-flight pins may leave the tier transiently over budget;
+        # with nothing in flight anymore a sweep must restore it, and
+        # the auto-sweeps must actually have evicted along the way
+        assert cache.stats()["disk_evictions"] > 0
+        swept = cache.gc()
+        assert swept["pinned"] == 0
+        assert swept["bytes"] <= BYTE_BUDGET
+        assert cache.stats()["disk_bytes"] <= BYTE_BUDGET
+
+        # no lost updates: the tier still serves a fresh process-shape
+        # consumer correctly after all that churn
+        replay = repro.compile(
+            {"hwb": 4}, target="clifford_t", cache=str(tmp_path)
+        )
+        assert replay.circuit.gates == reference[4].circuit.gates
+
+    def test_threads_and_process_pool_share_one_tier(self, tmp_path):
+        path = str(tmp_path)
+        reference = {n: _reference(n, "toffoli") for n in (3, 4)}
+        thread_session = CompilerSession(
+            target="toffoli",
+            cache=PassCache(path=path, max_bytes=BYTE_BUDGET),
+            max_workers=4,
+        )
+        process_session = CompilerSession(
+            target="toffoli",
+            cache=PassCache(path=path, max_bytes=BYTE_BUDGET),
+            executor="process",
+            max_workers=2,
+        )
+        outcome = {}
+
+        def hammer_processes():
+            outcome["process"] = process_session.compile_many(
+                [{"hwb": 3}, {"hwb": 4}] * 2
+            )
+
+        worker = threading.Thread(target=hammer_processes)
+        worker.start()
+        outcome["thread"] = thread_session.compile_many(
+            [{"hwb": n} for n in (3, 4)] * 4
+        )
+        worker.join(timeout=300)
+        assert not worker.is_alive()
+
+        for results in (outcome["thread"], outcome["process"]):
+            for result in results:
+                n = result.reversible.num_lines
+                expected = reference[n]
+                assert result.reversible.gates == expected.reversible.gates
+        for entry in tmp_path.glob("*.json"):
+            payload = json.loads(entry.read_text())
+            assert payload["format"] == DISK_FORMAT
+
+
+class TestInFlightProtection:
+    def test_gc_never_evicts_inflight_entry(self, tmp_path):
+        cache = PassCache(path=str(tmp_path))
+        cache.put("busy", {"function": None}, {})
+        cache.put("idle", {"function": None}, {})
+        role, _event = cache.begin_compute("busy")
+        assert role == "leader"
+        try:
+            swept = cache.gc(max_entries=0)
+            assert swept["pinned"] == 1
+            remaining = {
+                json.loads(f.read_text())["key"]
+                for f in tmp_path.glob("*.json")
+            }
+            assert remaining == {"busy"}
+        finally:
+            cache.end_compute("busy")
+        # once released, the same sweep may take it
+        assert cache.gc(max_entries=0)["evicted"] == 1
+
+    def test_full_pinned_tier_never_drops_a_fresh_insert(self):
+        """With every LRU candidate pinned, put() must keep the new
+        entry (transient overflow) rather than evict it — otherwise
+        an unpinned insert silently becomes a no-op."""
+        cache = PassCache(maxsize=4)
+        for index in range(4):
+            key = f"pinned{index}"
+            cache.put(key, {"function": None}, {})
+            cache.pin(key)
+        try:
+            cache.put("fresh", {"function": None}, {})
+            assert cache.get("fresh") is not None
+            assert len(cache) == 5  # over budget, by design
+        finally:
+            for index in range(4):
+                cache.unpin(f"pinned{index}")
+
+    def test_memory_lru_skips_pinned_entries(self):
+        cache = PassCache(maxsize=1)
+        cache.put("hot", {"function": None}, {})
+        cache.pin("hot")
+        try:
+            cache.put("other", {"function": None}, {})
+            cache.put("another", {"function": None}, {})
+            assert cache.get("hot") is not None
+        finally:
+            cache.unpin("hot")
+
+    def test_single_flight_runs_concurrent_identical_passes_once(self):
+        class SlowSimplify(SimplifyPass):
+            calls = 0
+            _lock = threading.Lock()
+
+            def run(self, state):
+                with SlowSimplify._lock:
+                    SlowSimplify.calls += 1
+                time.sleep(0.05)
+                return super().run(state)
+
+        SlowSimplify.calls = 0
+        perm = generators.hwb(4)
+        from repro.pipeline import SynthesisPass
+
+        seed = FlowState(function=perm)
+        seed = SynthesisPass("tbs").run(seed)
+        cache = PassCache()
+        outputs = []
+
+        def worker():
+            pipeline = Pipeline(cache=cache)
+            state, record = pipeline.apply(SlowSimplify(), seed)
+            outputs.append((state.reversible.gates, record.cache_hit))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert len(outputs) == 4
+        # the leader computed once; every follower replayed its entry
+        assert SlowSimplify.calls == 1
+        gates = {tuple(g for g in gates_) for gates_, _hit in outputs}
+        assert len(gates) == 1
+        assert sum(1 for _g, hit in outputs if hit) == 3
+        # counter accounting: one logical miss (the leader's compute),
+        # one hit per replayed follower — a follower's wait must not
+        # log a spurious miss-then-hit pair
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 3
+
+    def test_nested_apply_on_shared_cache_does_not_deadlock(self):
+        """A pass whose run() itself drives the same cache (a nested
+        flow) must not deadlock on the single-flight registry."""
+        cache = PassCache()
+        perm = generators.hwb(4)
+        from repro.pipeline import SynthesisPass
+
+        class NestingSynthesis(SynthesisPass):
+            def run(self, state):
+                inner = Pipeline(cache=cache)
+                inner.apply(SynthesisPass("tbs"), state)
+                return super().run(state)
+
+        pipeline = Pipeline(cache=cache)
+        state, record = pipeline.apply(
+            NestingSynthesis("tbs"), FlowState(function=perm)
+        )
+        assert state.reversible is not None
+        assert not record.cache_hit
+
+    def test_follower_timeout_falls_back_to_computing(self, monkeypatch):
+        """If the leader stalls past the single-flight timeout, the
+        follower computes the pass itself instead of hanging."""
+        from repro.pipeline import SynthesisPass, runner
+
+        monkeypatch.setattr(runner, "SINGLE_FLIGHT_TIMEOUT", 0.01)
+        cache = PassCache()
+        seed = FlowState(function=generators.hwb(3))
+        pipeline = Pipeline(cache=cache)
+        key = pipeline._cache_key(SynthesisPass("tbs"), seed)
+        role, _event = cache.begin_compute(key)
+        assert role == "leader"
+
+        stalled_result = {}
+
+        def follower():
+            state, record = Pipeline(cache=cache).apply(
+                SynthesisPass("tbs"), seed
+            )
+            stalled_result["gates"] = state.reversible.gates
+            stalled_result["hit"] = record.cache_hit
+
+        thread = threading.Thread(target=follower)
+        thread.start()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        cache.end_compute(key)
+        assert not stalled_result["hit"]
+        assert stalled_result["gates"]
+
+
+class TestConcurrentWriters:
+    def test_racing_spills_leave_whole_entries(self, tmp_path):
+        """Many threads rewriting the same keys: the atomic replace +
+        generation stamp must leave only complete entry files."""
+        cache = PassCache(path=str(tmp_path))
+
+        def writer(worker_id):
+            for round_ in range(20):
+                key = f"key-{round_ % 5}"
+                cache.put(key, {"function": None}, {"worker": worker_id})
+                cache.get(key)
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        entries = list(tmp_path.glob("*.json"))
+        assert len(entries) == 5
+        generations = set()
+        for entry in entries:
+            payload = json.loads(entry.read_text())
+            assert payload["format"] == DISK_FORMAT
+            generations.add(tuple(payload["gen"]))
+        assert len(generations) == 5  # every survivor a distinct stamp
+        assert not list(tmp_path.glob("*.tmp.*"))
+
+    def test_racing_spills_keep_disk_tally_accurate(self, tmp_path):
+        """Two spills racing on the same new key must not both count
+        it: the running tally has to match the real directory."""
+        # a (non-binding) budget makes the budget check seed the tally
+        cache = PassCache(path=str(tmp_path), max_entries=10**6)
+
+        def writer(worker_id):
+            for index in range(50):
+                cache.put(
+                    f"key-{index}", {"function": None}, {"w": worker_id}
+                )
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        real_entries = list(tmp_path.glob("*.json"))
+        stats = cache.stats()
+        assert stats["disk_entries"] == len(real_entries) == 50
+        assert stats["disk_bytes"] == sum(
+            f.stat().st_size for f in real_entries
+        )

@@ -1,0 +1,145 @@
+"""Disk-tier lifecycle: LRU ordering, budgets, stamps, statistics."""
+
+import json
+import os
+import time
+
+import repro
+from repro.pipeline import PassCache
+from repro.pipeline.cache import DISK_FORMAT
+
+
+def _fill(cache, count, prefix="key"):
+    for index in range(count):
+        cache.put(f"{prefix}{index}", {"function": None}, {"i": index})
+
+
+class TestGcOrdering:
+    def test_least_recently_accessed_evicted_first(self, tmp_path):
+        cache = PassCache(path=str(tmp_path))
+        _fill(cache, 4)
+        # age the files apart, then touch key0 via a disk hit from a
+        # fresh instance (the memory tier of `cache` would mask it)
+        now = time.time()
+        for index in range(4):
+            entry = cache._entry_path(f"key{index}")
+            os.utime(entry, (now - 100 + index, now - 100 + index))
+        reader = PassCache(path=str(tmp_path))
+        assert reader.get("key0") is not None  # bumps the access stamp
+        swept = cache.gc(max_entries=2)
+        assert swept["evicted"] == 2
+        survivors = {
+            json.loads(f.read_text())["key"]
+            for f in tmp_path.glob("*.json")
+        }
+        assert survivors == {"key0", "key3"}
+
+    def test_byte_budget(self, tmp_path):
+        cache = PassCache(path=str(tmp_path))
+        _fill(cache, 6)
+        entry_bytes = sum(
+            f.stat().st_size for f in tmp_path.glob("*.json")
+        ) // 6
+        swept = cache.gc(max_bytes=entry_bytes * 3)
+        assert swept["bytes"] <= entry_bytes * 3
+        assert swept["evicted"] >= 3
+
+    def test_gc_without_budgets_keeps_entries(self, tmp_path):
+        cache = PassCache(path=str(tmp_path))
+        _fill(cache, 3)
+        assert cache.gc()["evicted"] == 0
+        assert len(list(tmp_path.glob("*.json"))) == 3
+
+    def test_gc_on_memory_only_cache_is_a_noop(self):
+        cache = PassCache()
+        _fill(cache, 3)
+        assert cache.gc(max_entries=0) == {
+            "scanned": 0,
+            "evicted": 0,
+            "pinned": 0,
+            "entries": 0,
+            "bytes": 0,
+        }
+
+    def test_validate_drops_foreign_and_corrupt_files(self, tmp_path):
+        cache = PassCache(path=str(tmp_path))
+        _fill(cache, 2)
+        victim = next(iter(tmp_path.glob("*.json")))
+        victim.write_text('{"format": 999}')
+        bystander = tmp_path / "notes.json"  # not a content-named file
+        bystander.write_text("{}")
+        swept = cache.gc(validate=True)
+        assert swept["evicted"] == 1
+        assert bystander.exists()
+
+
+class TestAutoGc:
+    def test_put_keeps_disk_tier_within_budget(self, tmp_path):
+        cache = PassCache(path=str(tmp_path), max_entries=3)
+        _fill(cache, 10)
+        assert len(list(tmp_path.glob("*.json"))) <= 3
+        assert cache.disk_evictions >= 7
+
+    def test_evicted_entry_recompiles_cleanly(self, tmp_path):
+        bounded = PassCache(path=str(tmp_path), max_entries=2)
+        first = repro.compile(
+            {"hwb": 3}, target="clifford_t", cache=bounded
+        )
+        assert bounded.stats()["disk_evictions"] > 0
+        # a fresh instance sees only the surviving entries; the flow
+        # must recompute the evicted ones and still agree exactly
+        again = repro.compile(
+            {"hwb": 3},
+            target="clifford_t",
+            cache=PassCache(path=str(tmp_path)),
+        )
+        assert again.circuit.gates == first.circuit.gates
+
+
+class TestStampsAndStats:
+    def test_entries_carry_generation_stamps(self, tmp_path):
+        cache = PassCache(path=str(tmp_path))
+        cache.put("a", {"function": None}, {})
+        cache.put("a", {"function": None}, {"rewrite": True})
+        payload = json.loads(
+            next(iter(tmp_path.glob("*.json"))).read_text()
+        )
+        assert payload["format"] == DISK_FORMAT
+        pid, counter = payload["gen"]
+        assert pid == os.getpid()
+        assert counter > 0
+
+    def test_stats_schema(self, tmp_path):
+        cache = PassCache(maxsize=2, path=str(tmp_path))
+        _fill(cache, 3)
+        cache.get("key2")
+        cache.get("missing")
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["memory_evictions"] == 1  # maxsize=2, 3 puts
+        assert stats["evictions"] == stats["memory_evictions"] + stats[
+            "disk_evictions"
+        ]
+        assert stats["disk_entries"] == 3
+        assert stats["disk_bytes"] > 0
+
+    def test_compilation_result_surfaces_cache_stats(self):
+        cache = PassCache()
+        result = repro.compile({"hwb": 3}, target="toffoli", cache=cache)
+        assert result.cache_stats is not None
+        assert result.cache_stats["entries"] == len(cache)
+        assert set(result.cache_stats) >= {
+            "hits", "misses", "evictions", "disk_bytes",
+        }
+        uncached = repro.compile({"hwb": 3}, target="toffoli", cache=None)
+        assert uncached.cache_stats is None
+
+    def test_clear_resets_eviction_counters(self, tmp_path):
+        cache = PassCache(maxsize=1, path=str(tmp_path), max_entries=1)
+        _fill(cache, 3)
+        assert cache.stats()["evictions"] > 0
+        cache.clear(disk=True)
+        stats = cache.stats()
+        assert stats["evictions"] == 0
+        assert stats["disk_entries"] == 0

@@ -341,6 +341,69 @@ class TestVerification:
         assert not record.cache_hit
         assert "alpha" not in state.quantum.name
 
+    def test_flow_error_context_names_flow_and_pass_index(self):
+        """A PipelineError mid-flow must say which preset step failed:
+        flow name, 1-based pass index, pass name and stage."""
+        flow = flows.Flow(
+            name="demo-flow",
+            description="generate, then simplify nothing",
+            passes=(SimplifyPass(),),  # no reversible store yet
+        )
+        with pytest.raises(PipelineError) as info:
+            flow.run(pipeline=Pipeline(cache=None))
+        message = str(info.value)
+        assert "flow 'demo-flow'" in message
+        assert "pass 1/1" in message
+        assert "'revsimp'" in message
+
+    def test_verification_error_context_keeps_type_and_position(self):
+        flow = flows.Flow(
+            name="broken-demo",
+            description="a deliberately wrong simplify mid-flow",
+            passes=(
+                GeneratePass("hwb", 4),
+                SynthesisPass("tbs"),
+                BrokenSimplify(),
+            ),
+        )
+        with pytest.raises(VerificationError) as info:
+            flow.run(pipeline=Pipeline(cache=None, verify=True))
+        message = str(info.value)
+        assert "flow 'broken-demo'" in message
+        assert "pass 3/3" in message
+        assert "broken-simp" in message
+
+    def test_foreign_exception_keeps_type_and_gains_note(self):
+        """A non-pipeline exception keeps its type (except clauses
+        still match) and gains a traceback note with the position."""
+
+        class ExplodingPass(SimplifyPass):
+            name = "kaboom"
+
+            def run(self, state):
+                raise ValueError("wires crossed")
+
+        flow = flows.Flow(
+            name="exploding",
+            description="a pass that raises a foreign error",
+            passes=(GeneratePass("hwb", 3), SynthesisPass("tbs"),
+                    ExplodingPass()),
+        )
+        with pytest.raises(ValueError, match="wires crossed") as info:
+            flow.run(pipeline=Pipeline(cache=None))
+        notes = getattr(info.value, "__notes__", [])
+        assert any(
+            "flow 'exploding'" in note and "pass 3/3" in note
+            for note in notes
+        )
+
+    def test_pipeline_run_context_without_flow_name(self):
+        with pytest.raises(PipelineError) as info:
+            Pipeline(cache=None).run([SimplifyPass()])
+        message = str(info.value)
+        assert "pass 1/1" in message
+        assert "flow" not in message
+
     def test_route_verify_guard_uses_device_width(self):
         """The dense routing check builds device-width unitaries, so a
         narrow circuit on a wide coupling map must skip it (not try to
