@@ -18,6 +18,11 @@ Obligations of the `repro.compile()` front door:
   the warm tier), and a budgeted cache (`max_entries=8` < 32 points)
   records evictions while still compiling every point gate-for-gate
   identically.
+* **Emitter matrix (PR 5)** — one compiled workload renders in every
+  format registered with `repro.emit`; per-format timings land in
+  `BENCH_compiler.json` `extra_info` (`emit_<format>_s`) and the
+  qasm2 output must parse back gate-for-gate (the round-trip
+  obligation of the registry refactor).
 
 Timing asserts are skipped on shared CI runners (`CI` env var) where
 timers are too noisy; CI still smokes both paths and uploads the
@@ -32,6 +37,7 @@ import time
 from conftest import report
 
 import repro
+from repro import emit
 from repro.compiler import CompilerSession
 from repro.pipeline import PassCache, Pipeline, flows
 
@@ -215,3 +221,42 @@ def test_async_sweep_and_bounded_cache(benchmark, tmp_path):
             f"async warm sweep ({async_warm_s * 1e3:.1f}ms) should beat "
             f"sequential cold ({sequential_cold_s * 1e3:.1f}ms)"
         )
+
+
+def test_emitter_matrix(benchmark):
+    """Render one compiled workload in every registered format.
+
+    Obligations: every `repro.emit.formats()` backend emits the hwb4
+    Clifford+T circuit, the per-format wall-clock lands in the
+    committed `BENCH_compiler.json` (`extra_info["emit_<format>_s"]`),
+    and the qasm2 text re-imports gate-for-gate (round-trip).
+    """
+    result = repro.compile({"hwb": 4}, target="clifford_t", cache=None)
+    circuit = result.circuit
+    formats = emit.formats()
+
+    def run_matrix():
+        return {name: emit.emit(circuit, name) for name in formats}
+
+    texts = benchmark(run_matrix)
+    assert set(texts) == set(formats)
+    assert all(texts.values())
+
+    rows = []
+    for name in formats:
+        per_format_s = _best_of(lambda: emit.emit(circuit, name))
+        benchmark.extra_info[f"emit_{name}_s"] = per_format_s
+        rows.append(
+            (f"emit {name}", f"{per_format_s * 1e6:.0f}us "
+             f"({len(texts[name].splitlines())} lines)")
+        )
+
+    reimported = emit.parse(texts["qasm2"], "qasm2")
+    assert reimported.gates == circuit.gates
+    assert emit.emit(reimported, "qasm2") == texts["qasm2"]
+    rows.append(("qasm2 round-trip", "gate-for-gate"))
+
+    report(
+        f"emitter matrix: hwb4 Clifford+T x {len(formats)} formats",
+        rows,
+    )

@@ -4,7 +4,11 @@ Automation" (Soeken, Häner, Roetteler, DATE 2018).
 Subpackages
 -----------
 ``repro.core``
-    Quantum circuit IR: gates, circuits, statistics, OpenQASM, DAG.
+    Quantum circuit IR: gates, circuits, statistics, DAG.
+``repro.emit``
+    The unified emission registry: pluggable backends rendering
+    compiled circuits as OpenQASM 2/3, Q#, ProjectQ, cirq or textual
+    QIR, with round-trip import for OpenQASM 2.
 ``repro.simulator``
     Statevector, stabilizer (CHP), noisy (IBM-QE substitute) and
     resource-counting backends.
@@ -47,6 +51,7 @@ from . import (
     boolean,
     compiler,
     core,
+    emit,
     mapping,
     optimization,
     pipeline,
@@ -68,6 +73,7 @@ __all__ = [
     "boolean",
     "compiler",
     "core",
+    "emit",
     "mapping",
     "optimization",
     "pipeline",

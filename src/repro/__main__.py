@@ -5,10 +5,12 @@ Runs the paper's Eq. (5) story from the shell without the REPL:
 .. code-block:: console
 
     $ python -m repro compile hwb=4 --target clifford_t --stats --report
-    $ python -m repro compile '(a and b) ^ (c and d)' --emit qasm
+    $ python -m repro compile '(a and b) ^ (c and d)' --emit qasm2
     $ python -m repro compile perm:0,2,3,5,7,1,4,6 --target qsharp \
           --emit qsharp
+    $ python -m repro compile oracle.qasm --target ibm_qe5 --emit qir
     $ python -m repro targets
+    $ python -m repro formats
     $ python -m repro cache stats --cache-dir ~/.repro-cache --json
     $ python -m repro cache gc --cache-dir ~/.repro-cache --max-bytes 1048576
     $ python -m repro cache clear --cache-dir ~/.repro-cache
@@ -19,7 +21,12 @@ Workload argument forms:
 * a Boolean expression — ``'(a and b) ^ (c and d)'``;
 * ``perm:0,2,3,...`` — a permutation image;
 * ``tt:<nvars>:<hexbits>`` — an explicit truth table;
-* a path to an ``.qasm`` circuit or a ``.json`` workload file.
+* a path to a circuit file importable through the :mod:`repro.emit`
+  registry (``.qasm``), or a ``.json`` workload file.
+
+``--emit`` and the ``formats`` subcommand enumerate the emitter
+registry dynamically, so backends registered at runtime (or added in
+future releases) show up without CLI changes.
 """
 
 from __future__ import annotations
@@ -28,8 +35,10 @@ import argparse
 import json
 import os
 import sys
+from pathlib import Path
 from typing import Any
 
+from . import emit as emit_registry
 from .compiler import (
     NAMED_FLOWS,
     compile as compile_workload,
@@ -45,17 +54,11 @@ def _load_workload(spec: str) -> Any:
         # empty seed: the explicit --flow generates its own input
         return None
     if os.path.exists(spec):
-        if spec.endswith(".qasm"):
-            from .core.qasm import from_qasm
-
-            with open(spec) as stream:
-                return from_qasm(stream.read())
         if spec.endswith(".json"):
             with open(spec) as stream:
                 return json.load(stream)
-        raise SystemExit(
-            f"error: workload file {spec!r} must end in .qasm or .json"
-        )
+        # circuit files resolve by extension through the emit registry
+        return Path(spec)
     if spec.startswith("perm:"):
         from .boolean.permutation import BitPermutation
 
@@ -77,6 +80,9 @@ def _load_workload(spec: str) -> Any:
 def _cmd_compile(args: argparse.Namespace) -> int:
     """Run the ``compile`` subcommand."""
     try:
+        if args.emit:
+            # fail on format typos before paying for the compilation
+            emit_registry.get(args.emit)
         workload = _load_workload(args.workload)
         result = compile_workload(
             workload,
@@ -178,6 +184,29 @@ def _cmd_targets(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_formats(args: argparse.Namespace) -> int:
+    """Run the ``formats`` subcommand (list registered emitters)."""
+    names = emit_registry.formats()
+    if args.names:
+        for name in names:
+            print(name)
+        return 0
+    width = max(len(name) for name in names)
+    for name in names:
+        emitter = emit_registry.get(name)
+        extras = [emitter.file_extension]
+        aliases = tuple(getattr(emitter, "aliases", ()))
+        if aliases:
+            extras.append(f"aka {'/'.join(aliases)}")
+        if emit_registry.can_parse(emitter):
+            extras.append("round-trip")
+        print(
+            f"{name:<{width}}  {emitter.description}"
+            f"  [{', '.join(extras)}]"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -227,8 +256,10 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument(
         "--emit",
         default=None,
-        choices=("qasm", "qsharp", "projectq"),
-        help="print the compiled circuit in this format on stdout",
+        metavar="FORMAT",
+        help="print the compiled circuit in this format on stdout "
+        f"({', '.join(emit_registry.formats())}, or any format "
+        "registered with repro.emit)",
     )
     cmd.add_argument(
         "--cache-dir",
@@ -239,6 +270,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     lst = sub.add_parser("targets", help="list registered target presets")
     lst.set_defaults(func=_cmd_targets)
+
+    fmts = sub.add_parser(
+        "formats",
+        help="list the emission formats registered with repro.emit",
+    )
+    fmts.add_argument(
+        "--names",
+        action="store_true",
+        help="print bare format names, one per line (for scripting)",
+    )
+    fmts.set_defaults(func=_cmd_formats)
 
     cache = sub.add_parser(
         "cache",

@@ -21,6 +21,7 @@ from __future__ import annotations
 import ast
 import re
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Any, Callable, Optional, Sequence, Tuple, Union
 
 from ..boolean.bdd import Bdd
@@ -48,6 +49,8 @@ SUPPORTED_SHAPES = (
     "an ESOP cube list (sequence of Cube)",
     "a BDD function: (Bdd, node) pair",
     "QuantumCircuit / ReversibleCircuit (synthesis is skipped)",
+    "OpenQASM 2.0 source text, or a pathlib.Path to an importable "
+    "circuit file (round-trips through the repro.emit registry)",
     "FlowState / Workload (passed through)",
 )
 
@@ -186,8 +189,77 @@ def _generator_workload(options: dict) -> Workload:
     )
 
 
+def _first_significant_line(text: str) -> str:
+    """Return the first non-blank, non-comment line of QASM-ish text."""
+    for raw in text.splitlines():
+        line = raw.split("//")[0].strip()
+        if line:
+            return line
+    return ""
+
+
+def _looks_like_qasm(text: str) -> bool:
+    """Detect OpenQASM source text (comments/blank lines allowed)."""
+    return _first_significant_line(text).startswith("OPENQASM")
+
+
+def _qasm_workload(text: str, origin: str = "") -> Workload:
+    """Import OpenQASM source text as a circuit workload.
+
+    Version and syntax rejection (including the OpenQASM 3 hint)
+    lives in the parser itself, so every entry point — registry
+    ``parse``, shell, CLI, this frontend — reports the same message.
+    """
+    from .. import emit
+
+    try:
+        circuit = emit.parse(text, "qasm2")
+    except emit.EmitterError as exc:
+        raise _unsupported(text, hint=str(exc)) from exc
+    label = origin or f"{circuit.num_qubits} qubits"
+    return Workload(
+        kind="circuit",
+        description=f"qasm({label})",
+        state=FlowState(quantum=circuit),
+        needs_synthesis=False,
+    )
+
+
+def _path_workload(path: Path) -> Workload:
+    """Import a circuit file, resolving the format by extension."""
+    from .. import emit
+
+    try:
+        emitter = emit.emitter_for_path(str(path))
+    except emit.EmitterError as exc:
+        raise _unsupported(path, hint=str(exc)) from exc
+    if not emit.can_parse(emitter):
+        raise _unsupported(
+            path,
+            hint=(
+                f"format {emitter.name!r} has no importer; formats "
+                "with round-trip parse support: "
+                f"{', '.join(emit.parseable_formats())}"
+            ),
+        )
+    if emitter.name == "qasm2":
+        return _qasm_workload(path.read_text(), origin=path.name)
+    try:
+        circuit = emitter.parse(path.read_text())
+    except emit.EmitterError as exc:
+        raise _unsupported(path, hint=str(exc)) from exc
+    return Workload(
+        kind="circuit",
+        description=f"{emitter.name}({path.name})",
+        state=FlowState(quantum=circuit),
+        needs_synthesis=False,
+    )
+
+
 def _parse_spec_string(text: str) -> Workload:
     """Interpret a string as a generator spec or Boolean expression."""
+    if _looks_like_qasm(text):
+        return _qasm_workload(text)
     if _GENERATOR_SPEC_RE.match(text):
         options = {}
         for item in text.split(","):
@@ -345,6 +417,8 @@ def detect_workload(obj: Any) -> Workload:
         )
     if isinstance(obj, str):
         return _parse_spec_string(obj)
+    if isinstance(obj, Path):
+        return _path_workload(obj)
     if isinstance(obj, dict):
         if any(key in GENERATOR_KINDS for key in obj):
             return _generator_workload(obj)

@@ -3,10 +3,11 @@
 :class:`CompilationResult` is what :func:`repro.compile` returns — the
 final :class:`~repro.pipeline.state.FlowState`, the per-pass
 :class:`~repro.pipeline.runner.PassRecord` list with timing and
-gate/T-count deltas, and lazy emitters (:meth:`~CompilationResult.to_qasm`,
-:meth:`~CompilationResult.to_qsharp`,
-:meth:`~CompilationResult.to_projectq`) that render the compiled
-circuit in the target's output format on first use and cache the text.
+gate/T-count deltas, and lazy emission: :meth:`~CompilationResult.emit`
+dispatches any registered :mod:`repro.emit` format (the legacy
+:meth:`~CompilationResult.to_qasm` / :meth:`~CompilationResult.to_qsharp`
+/ :meth:`~CompilationResult.to_projectq` are thin wrappers over it),
+rendering the compiled circuit on first use and caching the text.
 """
 
 from __future__ import annotations
@@ -16,6 +17,8 @@ from typing import Any, Dict, List, Optional
 
 from ..core.circuit import QuantumCircuit
 from ..core.statistics import CircuitStatistics
+from ..emit import EmitterError, describe_formats
+from ..emit import get as get_emitter
 from ..pipeline.flows import Flow
 from ..pipeline.runner import PassRecord, format_records, state_metrics
 from ..pipeline.state import FlowState, PipelineError
@@ -23,51 +26,8 @@ from .frontends import Workload
 from .target import Target
 
 
-class EmissionError(PipelineError):
+class EmissionError(PipelineError, EmitterError):
     """Raised when a result cannot be rendered in the asked format."""
-
-
-#: ProjectQ eDSL operator per core gate name (single target, no
-#: controls unless noted).
-_PROJECTQ_OPS = {
-    "h": "H",
-    "x": "X",
-    "y": "Y",
-    "z": "Z",
-    "s": "S",
-    "sdg": "Sdag",
-    "t": "T",
-    "tdg": "Tdag",
-}
-_PROJECTQ_ROTATIONS = {"rx": "Rx", "ry": "Ry", "rz": "Rz", "p": "Ph"}
-
-
-def _gate_to_projectq(gate) -> str:
-    """Render one core gate as a ProjectQ eDSL statement."""
-    name, controls, targets = gate.name, gate.controls, gate.targets
-    if name == "barrier":
-        return ""
-    if name == "measure":
-        return f"Measure | q[{targets[0]}]"
-    if name in _PROJECTQ_OPS and not controls:
-        return f"{_PROJECTQ_OPS[name]} | q[{targets[0]}]"
-    if name in _PROJECTQ_ROTATIONS and not controls:
-        op = _PROJECTQ_ROTATIONS[name]
-        return f"{op}({gate.params[0]!r}) | q[{targets[0]}]"
-    if name == "cx":
-        return f"CNOT | (q[{controls[0]}], q[{targets[0]}])"
-    if name == "cz":
-        return f"CZ | (q[{controls[0]}], q[{targets[0]}])"
-    if name == "ccx":
-        return (
-            f"Toffoli | (q[{controls[0]}], q[{controls[1]}], "
-            f"q[{targets[0]}])"
-        )
-    if name == "swap":
-        return f"Swap | (q[{targets[0]}], q[{targets[1]}])"
-    raise EmissionError(
-        f"gate {name!r} (controls={controls}) has no ProjectQ eDSL form"
-    )
 
 
 @dataclass
@@ -192,9 +152,7 @@ class CompilationResult:
         Returns:
             The OpenQASM source text.
         """
-        if "qasm" not in self._emitted:
-            self._emitted["qasm"] = self._require_circuit("qasm").to_qasm()
-        return self._emitted["qasm"]
+        return self.emit("qasm2")
 
     def to_qsharp(self, name: str = "CompiledOperation") -> str:
         """Render the compiled circuit as a Q# operation (cached).
@@ -205,13 +163,10 @@ class CompilationResult:
         Returns:
             The Q# source text (Fig. 10 shape).
         """
-        key = f"qsharp:{name}"
-        if key not in self._emitted:
-            from ..frameworks.qsharp import operation_from_circuit
-
-            circuit = self._require_circuit("qsharp")
-            self._emitted[key] = operation_from_circuit(name, circuit).code
-        return self._emitted[key]
+        if name == "CompiledOperation":
+            # the backend's default: share emit("qsharp")'s memo slot
+            return self.emit("qsharp")
+        return self.emit("qsharp", name=name)
 
     def to_projectq(self) -> str:
         """Render the compiled circuit as a ProjectQ eDSL script (cached).
@@ -220,63 +175,60 @@ class CompilationResult:
             Python source that replays the circuit through
             :mod:`repro.frameworks.projectq`.
         """
-        if "projectq" not in self._emitted:
-            circuit = self._require_circuit("projectq")
-            statements = [
-                _gate_to_projectq(gate)
-                for gate in circuit.gates
-                if gate.name != "barrier"
-            ]
-            ops = sorted(
-                {s.split(" ", 1)[0].partition("(")[0] for s in statements}
-                | {"MainEngine"}
-            )
-            lines = [
-                f'"""ProjectQ replay of circuit {circuit.name!r} '
-                '(generated by repro.compile)."""',
-                "",
-                "from repro.frameworks.projectq import (",
-            ]
-            lines.extend(f"    {op}," for op in ops)
-            lines.append(")")
-            lines.append("")
-            lines.append("eng = MainEngine()")
-            lines.append(
-                f"q = eng.allocate_qureg({circuit.num_qubits})"
-            )
-            lines.extend(s for s in statements if s)
-            lines.append("eng.flush()")
-            self._emitted["projectq"] = "\n".join(lines) + "\n"
-        return self._emitted["projectq"]
+        return self.emit("projectq")
 
-    def emit(self, format: Optional[str] = None) -> str:
-        """Render in the given (or the target's default) format.
+    def emit(self, format: Optional[str] = None, **opts) -> str:
+        """Render in the given (or the default) format, memoized.
+
+        Any format registered with :mod:`repro.emit` is accepted;
+        when ``format`` is omitted, the target's ``emitter`` is used,
+        falling back to the executed flow's ``emitter`` for flow-only
+        compilations.  The rendered text is cached per
+        ``(format, opts)``, so repeated calls return the same object.
 
         Args:
-            format: ``qasm``, ``qsharp`` or ``projectq``; defaults to
-                the target's ``emitter``.
+            format: a registered format name or alias (``qasm2``,
+                ``qasm3``, ``qsharp``, ``projectq``, ``cirq``,
+                ``qir``, ...); ``None`` selects the default emitter.
+            **opts: backend-specific options (e.g. the Q# backend's
+                ``name=``).
 
         Returns:
             The emitted source text.
 
         Raises:
-            EmissionError: when no format is given and the target has
-                no default emitter, or the format is unknown.
+            EmissionError: when no format is given and neither the
+                target nor the flow has a default emitter, when the
+                format is unknown (both messages list the registered
+                formats), or when the circuit has gates the backend
+                cannot express.
         """
         if format is None:
             format = self.target.emitter if self.target else None
         if format is None:
+            format = getattr(self.flow, "emitter", None)
+        if format is None:
             raise EmissionError(
                 "no emission format: pass format= or compile for a "
-                "target with an emitter (qasm / qsharp / projectq)"
+                "target with a default emitter; registered formats: "
+                f"{describe_formats()}"
             )
-        if format == "qasm":
-            return self.to_qasm()
-        if format == "qsharp":
-            return self.to_qsharp()
-        if format == "projectq":
-            return self.to_projectq()
-        raise EmissionError(
-            f"unknown emission format {format!r}; expected qasm, "
-            "qsharp or projectq"
-        )
+        try:
+            emitter = get_emitter(format)
+        except EmitterError as exc:
+            raise EmissionError(str(exc)) from exc
+        key = emitter.name
+        if opts:
+            options = ", ".join(
+                f"{k}={v!r}" for k, v in sorted(opts.items())
+            )
+            key = f"{key}({options})"
+        if key not in self._emitted:
+            circuit = self._require_circuit(emitter.name)
+            try:
+                self._emitted[key] = emitter.emit(circuit, **opts)
+            except EmissionError:
+                raise
+            except EmitterError as exc:
+                raise EmissionError(str(exc)) from exc
+        return self._emitted[key]

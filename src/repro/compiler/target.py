@@ -36,6 +36,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional, Tuple, Union
 
+from ..emit import EmitterError
+from ..emit import get as get_emitter
 from ..mapping.routing import CouplingMap
 from ..pipeline.flows import Flow, device as device_flow
 from ..pipeline.passes import (
@@ -71,8 +73,11 @@ class Target:
         optimization_level: 0 = none, 1 = simplification +
             cancellation, 2 = additionally T-par phase folding.
         emitter: default emission format of
-            :meth:`~.result.CompilationResult.emit` — ``qasm``,
-            ``qsharp`` or ``projectq``.
+            :meth:`~.result.CompilationResult.emit` — any name or
+            alias registered with :mod:`repro.emit` (``qasm2``,
+            ``qasm3``, ``qsharp``, ``projectq``, ``cirq``, ``qir``,
+            ...), canonicalized at construction; unknown names raise
+            with the registered list.
         synthesis: synthesis method override (name or callable); the
             frontend recommendation is used when ``None``.
         relative_phase: use relative-phase Toffolis in the mapping.
@@ -88,6 +93,24 @@ class Target:
     synthesis: Optional[Union[str, Callable]] = field(default=None)
     relative_phase: bool = True
     collect_statistics: bool = False
+
+    def __post_init__(self) -> None:
+        """Resolve ``emitter`` through the :mod:`repro.emit` registry.
+
+        Raises:
+            PipelineError: for emission formats the registry does not
+                know (the message lists the registered ones).
+        """
+        if self.emitter is None:
+            return
+        try:
+            canonical = get_emitter(self.emitter).name
+        except EmitterError as exc:
+            raise PipelineError(
+                f"target {self.name!r}: {exc}"
+            ) from exc
+        if canonical != self.emitter:
+            object.__setattr__(self, "emitter", canonical)
 
     def with_(self, **changes) -> "Target":
         """Return a copy of the target with fields replaced.
@@ -282,7 +305,7 @@ IBM_QE5 = register_target(
         description="IBM QE 5-qubit bowtie chip (routed, QASM emitter)",
         coupling=CouplingMap.ibm_qx2(),
         optimization_level=2,
-        emitter="qasm",
+        emitter="qasm2",
     )
 )
 

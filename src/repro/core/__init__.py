@@ -4,7 +4,7 @@ from .circuit import QuantumCircuit
 from .dag import CircuitDag
 from .drawing import draw_circuit, draw_reversible
 from .gates import Gate, gate_matrix, is_clifford_name, is_clifford_t_name
-from .qasm import QasmError, from_qasm, to_qasm
+from ..emit.qasm2 import QasmError, from_qasm, to_qasm
 from .statistics import CircuitStatistics, circuit_statistics
 from .unitary import (
     allclose_up_to_global_phase,

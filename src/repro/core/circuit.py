@@ -6,7 +6,8 @@ qubit wires and ``num_clbits`` classical wires.  It offers the gate
 vocabulary as builder methods (``circ.h(0)``, ``circ.mcx([0, 1], 2)``),
 structural operations (composition, inversion, power, remapping), and
 conversion helpers (unitary matrix via :mod:`repro.core.unitary`,
-OpenQASM via :mod:`repro.core.qasm`).
+OpenQASM and every other output format via the :mod:`repro.emit`
+registry).
 """
 
 from __future__ import annotations
@@ -385,9 +386,25 @@ class QuantumCircuit:
         return circuit_unitary(self)
 
     def to_qasm(self) -> str:
-        from .qasm import to_qasm
+        from ..emit.qasm2 import to_qasm
 
         return to_qasm(self)
+
+    def emit(self, format: str, **opts) -> str:
+        """Render this circuit in any registered emission format.
+
+        Args:
+            format: a :func:`repro.emit.formats` name or alias
+                (``qasm2``, ``qasm3``, ``qsharp``, ``projectq``,
+                ``cirq``, ``qir``, ...).
+            **opts: backend-specific options.
+
+        Returns:
+            The emitted source text.
+        """
+        from ..emit import emit
+
+        return emit(self, format, **opts)
 
     def __str__(self) -> str:
         lines = [f"QuantumCircuit({self.num_qubits} qubits, {len(self.gates)} gates)"]

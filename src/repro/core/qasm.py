@@ -1,201 +1,28 @@
-"""OpenQASM 2.0 export / import.
+"""Deprecated location of the OpenQASM 2.0 exporter / importer.
 
-The paper positions QASM/OpenQASM as the "assembly language" of quantum
-computing (Sec. II).  The exporter emits standard ``qelib1.inc``
-vocabulary; mcx/mcz gates must be mapped to Clifford+T (or at least to
-ccx) before export.  The importer supports the subset the exporter
-emits, which is enough for round-trip tests and for feeding external
-tools.
+The implementation moved to :mod:`repro.emit.qasm2`, the ``qasm2``
+backend of the unified emitter registry (:mod:`repro.emit`).  This
+shim keeps ``repro.core.qasm`` importable; importing it raises a
+:class:`DeprecationWarning` once (the module object is cached, so
+subsequent imports are silent).
 """
 
 from __future__ import annotations
 
-import math
-import re
-from typing import TYPE_CHECKING, List
+import warnings
 
-from .gates import Gate
-
-if TYPE_CHECKING:  # pragma: no cover
-    from .circuit import QuantumCircuit
-
-_EXPORT_NAMES = {
-    "id": "id",
-    "h": "h",
-    "x": "x",
-    "y": "y",
-    "z": "z",
-    "s": "s",
-    "sdg": "sdg",
-    "t": "t",
-    "tdg": "tdg",
-    "sx": "sx",
-    "sxdg": "sxdg",
-    "rx": "rx",
-    "ry": "ry",
-    "rz": "rz",
-    "p": "u1",
-    "cx": "cx",
-    "cy": "cy",
-    "cz": "cz",
-    "ch": "ch",
-    "crz": "crz",
-    "cp": "cu1",
-    "swap": "swap",
-    "ccx": "ccx",
-    "ccz": "ccz",
-    "cswap": "cswap",
-}
-
-_IMPORT_NAMES = {v: k for k, v in _EXPORT_NAMES.items()}
-_IMPORT_NAMES["u1"] = "p"
-_IMPORT_NAMES["cu1"] = "cp"
-
-#: number of control qubits per exported name
-_NUM_CONTROLS = {
-    "cx": 1,
-    "cy": 1,
-    "cz": 1,
-    "ch": 1,
-    "crz": 1,
-    "cp": 1,
-    "ccx": 2,
-    "ccz": 2,
-    "cswap": 1,
-}
-
-
-class QasmError(ValueError):
-    """Raised on malformed OpenQASM input or unexportable gates."""
-
-
-def to_qasm(circuit: "QuantumCircuit") -> str:
-    """Serialize a circuit as OpenQASM 2.0 text."""
-    lines = [
-        "OPENQASM 2.0;",
-        'include "qelib1.inc";',
-        f"qreg q[{max(circuit.num_qubits, 1)}];",
-    ]
-    if circuit.num_clbits:
-        lines.append(f"creg c[{circuit.num_clbits}];")
-    for gate in circuit.gates:
-        lines.append(_gate_to_qasm(gate))
-    return "\n".join(lines) + "\n"
-
-
-def _gate_to_qasm(gate: Gate) -> str:
-    if gate.name == "measure":
-        return f"measure q[{gate.targets[0]}] -> c[{gate.cbits[0]}];"
-    if gate.name == "reset":
-        return f"reset q[{gate.targets[0]}];"
-    if gate.name == "barrier":
-        wires = ", ".join(f"q[{q}]" for q in gate.targets)
-        return f"barrier {wires};"
-    if gate.name == "ccz":
-        # qelib1 has no ccz; emit h-ccx-h equivalent inline as three ops
-        c1, c2 = gate.controls
-        tgt = gate.targets[0]
-        return (
-            f"h q[{tgt}];\nccx q[{c1}], q[{c2}], q[{tgt}];\nh q[{tgt}];"
-        )
-    name = _EXPORT_NAMES.get(gate.name)
-    if name is None:
-        raise QasmError(
-            f"gate {gate.name!r} has no OpenQASM 2.0 form; map it first"
-        )
-    params = ""
-    if gate.params:
-        params = "(" + ", ".join(_format_angle(p) for p in gate.params) + ")"
-    wires = ", ".join(f"q[{q}]" for q in gate.qubits)
-    return f"{name}{params} {wires};"
-
-
-def _format_angle(value: float) -> str:
-    """Render an angle, using pi fractions when exact."""
-    for denom in (1, 2, 3, 4, 6, 8, 16):
-        for num in range(-16 * denom, 16 * denom + 1):
-            if num == 0:
-                continue
-            if abs(value - num * math.pi / denom) < 1e-12:
-                sign = "-" if num < 0 else ""
-                num = abs(num)
-                if num == denom:
-                    return f"{sign}pi"
-                if denom == 1:
-                    return f"{sign}{num}*pi"
-                if num == 1:
-                    return f"{sign}pi/{denom}"
-                return f"{sign}{num}*pi/{denom}"
-    if abs(value) < 1e-12:
-        return "0"
-    return repr(value)
-
-
-_GATE_RE = re.compile(
-    r"^(?P<name>[a-z][a-z0-9]*)\s*(?:\((?P<params>[^)]*)\))?\s*(?P<args>.*);$"
+from ..emit.qasm2 import (  # noqa: F401 - re-exported legacy surface
+    QasmError,
+    _format_angle,
+    _gate_to_qasm,
+    from_qasm,
+    to_qasm,
 )
-_MEASURE_RE = re.compile(r"^measure\s+q\[(\d+)\]\s*->\s*c\[(\d+)\];$")
-_QUBIT_RE = re.compile(r"q\[(\d+)\]")
 
-
-def _parse_angle(text: str) -> float:
-    text = text.strip().replace("pi", repr(math.pi))
-    # restrict eval to arithmetic characters
-    if not re.fullmatch(r"[0-9eE+\-*/. ()]*", text):
-        raise QasmError(f"bad angle expression {text!r}")
-    return float(eval(text, {"__builtins__": {}}))  # noqa: S307
-
-
-def from_qasm(text: str) -> "QuantumCircuit":
-    """Parse OpenQASM 2.0 text (the subset emitted by :func:`to_qasm`)."""
-    from .circuit import QuantumCircuit
-
-    num_qubits = 0
-    num_clbits = 0
-    body: List[str] = []
-    for raw in text.splitlines():
-        line = raw.split("//")[0].strip()
-        if not line:
-            continue
-        if line.startswith("OPENQASM") or line.startswith("include"):
-            continue
-        match = re.match(r"^qreg\s+\w+\[(\d+)\];$", line)
-        if match:
-            num_qubits += int(match.group(1))
-            continue
-        match = re.match(r"^creg\s+\w+\[(\d+)\];$", line)
-        if match:
-            num_clbits += int(match.group(1))
-            continue
-        body.append(line)
-
-    circuit = QuantumCircuit(num_qubits, num_clbits)
-    for line in body:
-        match = _MEASURE_RE.match(line)
-        if match:
-            circuit.measure(int(match.group(1)), int(match.group(2)))
-            continue
-        match = _GATE_RE.match(line)
-        if not match:
-            raise QasmError(f"cannot parse line {line!r}")
-        qasm_name = match.group("name")
-        qubits = [int(q) for q in _QUBIT_RE.findall(match.group("args"))]
-        if qasm_name == "barrier":
-            circuit.barrier(*qubits)
-            continue
-        if qasm_name == "reset":
-            circuit.reset(qubits[0])
-            continue
-        name = _IMPORT_NAMES.get(qasm_name)
-        if name is None:
-            raise QasmError(f"unsupported gate {qasm_name!r}")
-        params = ()
-        if match.group("params"):
-            params = tuple(
-                _parse_angle(p) for p in match.group("params").split(",")
-            )
-        n_ctl = _NUM_CONTROLS.get(name, 0)
-        controls = tuple(qubits[:n_ctl])
-        targets = tuple(qubits[n_ctl:])
-        circuit.append(Gate(name, targets, controls, params))
-    return circuit
+warnings.warn(
+    "repro.core.qasm is deprecated; use the 'qasm2' backend of the "
+    "repro.emit registry (repro.emit.get('qasm2'), or "
+    "repro.emit.qasm2 directly) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -1,0 +1,52 @@
+"""Unified emission subsystem: one registry for every output format.
+
+The paper's central claim (Sec. I) is that one design-automation flow
+retargets reversible logic onto many quantum programming frameworks —
+Q#, ProjectQ, device-level gate sets.  This package is that claim's
+emission half: every output format is an :class:`~.base.Emitter`
+behind one registry, so ``Target.emitter``,
+``CompilationResult.emit``, ``python -m repro compile --emit``, the
+RevKit shell's ``write_*`` commands and path-based workload import all
+resolve formats the same way.
+
+Built-in backends (``formats()`` order):
+
+* ``qasm2`` — OpenQASM 2.0, with round-trip ``parse``;
+* ``qasm3`` — OpenQASM 3.0 (stdgates.inc, ``ctrl @`` modifiers);
+* ``qsharp`` — the Fig. 10 Q# operation, with ``parse``;
+* ``projectq`` — ProjectQ eDSL replay script;
+* ``cirq`` — cirq circuit-building Python script;
+* ``qir`` — textual LLVM IR against the base-profile QIS.
+
+Adding a backend is one :func:`register` call with any object carrying
+``name`` / ``description`` / ``file_extension`` / ``emit`` (and an
+optional ``parse``); it immediately shows up in every listing above.
+"""
+
+from .base import Emitter, EmitterError, can_parse
+from .registry import (
+    describe_formats,
+    emit,
+    emitter_for_path,
+    formats,
+    get,
+    parse,
+    parseable_formats,
+    register,
+    unregister,
+)
+
+__all__ = [
+    "Emitter",
+    "EmitterError",
+    "can_parse",
+    "describe_formats",
+    "emit",
+    "emitter_for_path",
+    "formats",
+    "get",
+    "parse",
+    "parseable_formats",
+    "register",
+    "unregister",
+]

@@ -1,0 +1,286 @@
+"""OpenQASM 2.0 backend: export *and* round-trip import.
+
+The paper positions QASM/OpenQASM as the "assembly language" of quantum
+computing (Sec. II).  The exporter emits standard ``qelib1.inc``
+vocabulary; mcx/mcz gates must be mapped to Clifford+T (or at least to
+ccx) before export.  The importer supports the subset the exporter
+emits, which is enough for round-trip tests (emit → parse → emit is a
+fixed point) and for feeding external tools.
+
+This module is the implementation behind the ``qasm2`` registry entry;
+``repro.core.qasm`` forwards here as a deprecation shim.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import TYPE_CHECKING, List, Tuple
+
+from ..core.gates import Gate
+from .base import EmitterError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.circuit import QuantumCircuit
+
+_EXPORT_NAMES = {
+    "id": "id",
+    "h": "h",
+    "x": "x",
+    "y": "y",
+    "z": "z",
+    "s": "s",
+    "sdg": "sdg",
+    "t": "t",
+    "tdg": "tdg",
+    "sx": "sx",
+    "sxdg": "sxdg",
+    "rx": "rx",
+    "ry": "ry",
+    "rz": "rz",
+    "p": "u1",
+    "cx": "cx",
+    "cy": "cy",
+    "cz": "cz",
+    "ch": "ch",
+    "crz": "crz",
+    "cp": "cu1",
+    "swap": "swap",
+    "ccx": "ccx",
+    "ccz": "ccz",
+    "cswap": "cswap",
+}
+
+_IMPORT_NAMES = {v: k for k, v in _EXPORT_NAMES.items()}
+_IMPORT_NAMES["u1"] = "p"
+_IMPORT_NAMES["cu1"] = "cp"
+
+#: number of control qubits per exported name
+_NUM_CONTROLS = {
+    "cx": 1,
+    "cy": 1,
+    "cz": 1,
+    "ch": 1,
+    "crz": 1,
+    "cp": 1,
+    "ccx": 2,
+    "ccz": 2,
+    "cswap": 1,
+}
+
+
+class QasmError(EmitterError):
+    """Raised on malformed OpenQASM input or unexportable gates."""
+
+
+def to_qasm(circuit: "QuantumCircuit") -> str:
+    """Serialize a circuit as OpenQASM 2.0 text."""
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{max(circuit.num_qubits, 1)}];",
+    ]
+    if circuit.num_clbits:
+        lines.append(f"creg c[{circuit.num_clbits}];")
+    for gate in circuit.gates:
+        lines.append(_gate_to_qasm(gate))
+    return "\n".join(lines) + "\n"
+
+
+def _gate_to_qasm(gate: Gate) -> str:
+    """Render one core gate as an OpenQASM 2.0 statement."""
+    if gate.name == "measure":
+        return f"measure q[{gate.targets[0]}] -> c[{gate.cbits[0]}];"
+    if gate.name == "reset":
+        return f"reset q[{gate.targets[0]}];"
+    if gate.name == "barrier":
+        wires = ", ".join(f"q[{q}]" for q in gate.targets)
+        return f"barrier {wires};"
+    if gate.name == "ccz":
+        # qelib1 has no ccz; emit h-ccx-h equivalent inline as three ops
+        c1, c2 = gate.controls
+        tgt = gate.targets[0]
+        return (
+            f"h q[{tgt}];\nccx q[{c1}], q[{c2}], q[{tgt}];\nh q[{tgt}];"
+        )
+    name = _EXPORT_NAMES.get(gate.name)
+    if name is None:
+        raise QasmError(
+            f"gate {gate.name!r} has no OpenQASM 2.0 form; map it first"
+        )
+    params = ""
+    if gate.params:
+        params = "(" + ", ".join(_format_angle(p) for p in gate.params) + ")"
+    wires = ", ".join(f"q[{q}]" for q in gate.qubits)
+    return f"{name}{params} {wires};"
+
+
+def _format_angle(value: float) -> str:
+    """Render an angle, using pi fractions when exact."""
+    for denom in (1, 2, 3, 4, 6, 8, 16):
+        for num in range(-16 * denom, 16 * denom + 1):
+            if num == 0:
+                continue
+            if abs(value - num * math.pi / denom) < 1e-12:
+                sign = "-" if num < 0 else ""
+                num = abs(num)
+                if num == denom:
+                    return f"{sign}pi"
+                if denom == 1:
+                    return f"{sign}{num}*pi"
+                if num == 1:
+                    return f"{sign}pi/{denom}"
+                return f"{sign}{num}*pi/{denom}"
+    if abs(value) < 1e-12:
+        return "0"
+    return repr(value)
+
+
+_GATE_RE = re.compile(
+    r"^(?P<name>[a-z][a-z0-9]*)\s*(?:\((?P<params>[^)]*)\))?\s*(?P<args>.*);$"
+)
+_MEASURE_RE = re.compile(
+    r"^measure\s+(\w+)\[(\d+)\]\s*->\s*(\w+)\[(\d+)\];$"
+)
+_OPERAND_RE = re.compile(r"(\w+)\[(\d+)\]")
+
+
+def _parse_angle(text: str) -> float:
+    """Evaluate a restricted ``pi``-fraction angle expression."""
+    text = text.strip().replace("pi", repr(math.pi))
+    # restrict eval to arithmetic characters
+    if not re.fullmatch(r"[0-9eE+\-*/. ()]*", text):
+        raise QasmError(f"bad angle expression {text!r}")
+    return float(eval(text, {"__builtins__": {}}))  # noqa: S307
+
+
+def _wire_lookup(registers, kind):
+    """Build a ``(name, index) -> flat wire`` resolver for one kind.
+
+    Registers declared in order are flattened with running offsets, so
+    external files with named (or multiple) ``qreg``/``creg``
+    declarations import onto the single flat register this package
+    uses.  Unknown register names raise instead of silently dropping
+    operands.
+    """
+
+    def resolve(name, index):
+        if name not in registers:
+            declared = ", ".join(registers) or "(none)"
+            raise QasmError(
+                f"unknown {kind} register {name!r}; declared: {declared}"
+            )
+        offset, size = registers[name]
+        if index >= size:
+            raise QasmError(
+                f"{kind} index {name}[{index}] outside the register's "
+                f"size {size}"
+            )
+        return offset + index
+
+    return resolve
+
+
+def from_qasm(text: str) -> "QuantumCircuit":
+    """Parse OpenQASM 2.0 text (the subset emitted by :func:`to_qasm`).
+
+    Externally produced files are welcome too: named and multiple
+    ``qreg``/``creg`` declarations flatten onto one register in
+    declaration order, and operands referencing undeclared registers
+    raise :class:`QasmError` instead of being dropped.
+    """
+    from ..core.circuit import QuantumCircuit
+
+    qregs = {}
+    cregs = {}
+    num_qubits = 0
+    num_clbits = 0
+    body: List[str] = []
+    for raw in text.splitlines():
+        line = raw.split("//")[0].strip()
+        if not line:
+            continue
+        if line.startswith("OPENQASM"):
+            if not re.match(r"^OPENQASM\s+2(\.\d+)?\s*;", line):
+                raise QasmError(
+                    f"{line.rstrip(';')}: OpenQASM 3 import is not "
+                    "supported; only the OpenQASM 2.0 subset parses"
+                )
+            continue
+        if line.startswith("include"):
+            continue
+        match = re.match(r"^qreg\s+(\w+)\[(\d+)\];$", line)
+        if match:
+            qregs[match.group(1)] = (num_qubits, int(match.group(2)))
+            num_qubits += int(match.group(2))
+            continue
+        match = re.match(r"^creg\s+(\w+)\[(\d+)\];$", line)
+        if match:
+            cregs[match.group(1)] = (num_clbits, int(match.group(2)))
+            num_clbits += int(match.group(2))
+            continue
+        body.append(line)
+
+    qubit_of = _wire_lookup(qregs, "quantum")
+    clbit_of = _wire_lookup(cregs, "classical")
+    circuit = QuantumCircuit(num_qubits, num_clbits)
+    for line in body:
+        match = _MEASURE_RE.match(line)
+        if match:
+            circuit.measure(
+                qubit_of(match.group(1), int(match.group(2))),
+                clbit_of(match.group(3), int(match.group(4))),
+            )
+            continue
+        match = _GATE_RE.match(line)
+        if not match:
+            raise QasmError(f"cannot parse line {line!r}")
+        qasm_name = match.group("name")
+        qubits = [
+            qubit_of(reg, int(idx))
+            for reg, idx in _OPERAND_RE.findall(match.group("args"))
+        ]
+        if qasm_name == "barrier":
+            circuit.barrier(*qubits)
+            continue
+        if qasm_name == "reset":
+            circuit.reset(qubits[0])
+            continue
+        name = _IMPORT_NAMES.get(qasm_name)
+        if name is None:
+            raise QasmError(f"unsupported gate {qasm_name!r}")
+        params = ()
+        if match.group("params"):
+            params = tuple(
+                _parse_angle(p) for p in match.group("params").split(",")
+            )
+        n_ctl = _NUM_CONTROLS.get(name, 0)
+        controls = tuple(qubits[:n_ctl])
+        targets = tuple(qubits[n_ctl:])
+        circuit.append(Gate(name, targets, controls, params))
+    return circuit
+
+
+class Qasm2Emitter:
+    """The ``qasm2`` registry backend (OpenQASM 2.0, round-trip)."""
+
+    name = "qasm2"
+    description = "OpenQASM 2.0 (qelib1.inc vocabulary, round-trip import)"
+    file_extension = ".qasm"
+    aliases: Tuple[str, ...] = ("qasm", "openqasm2")
+
+    def emit(self, circuit: "QuantumCircuit", **opts) -> str:
+        """Serialize ``circuit`` as OpenQASM 2.0 text."""
+        if opts:
+            raise QasmError(
+                f"qasm2 emitter takes no options, got {sorted(opts)}"
+            )
+        return to_qasm(circuit)
+
+    def parse(self, text: str) -> "QuantumCircuit":
+        """Import OpenQASM 2.0 text back into a circuit."""
+        return from_qasm(text)
+
+
+#: The registry instance (loaded by :mod:`repro.emit.registry`).
+EMITTER = Qasm2Emitter()

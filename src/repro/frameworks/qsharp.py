@@ -25,6 +25,7 @@ from typing import Callable, List, Optional, Sequence, Union
 
 from ..boolean.permutation import BitPermutation
 from ..core.circuit import QuantumCircuit
+from ..emit.base import EmitterError
 from ..pipeline import Pipeline
 from ..synthesis.reversible import ReversibleCircuit
 
@@ -43,8 +44,14 @@ _QSHARP_NAMES = {
 _ADJOINT_NAMES = {"sdg": "S", "tdg": "T"}
 
 
-class QSharpError(ValueError):
-    """Raised for unexportable gates or malformed generated code."""
+class QSharpError(EmitterError):
+    """Raised for unexportable gates or malformed generated code.
+
+    Subclasses :class:`repro.emit.EmitterError` (itself a
+    ``ValueError``) so registry dispatch — including
+    :meth:`repro.compiler.CompilationResult.emit` — uniformly
+    translates Q# backend failures into :class:`EmissionError`.
+    """
 
 
 @dataclass
@@ -69,29 +76,58 @@ def gate_to_qsharp(gate) -> str:
     return f"{name}({args});"
 
 
+def _operation_from_circuit(
+    name: str,
+    circuit: QuantumCircuit,
+    namespace: str = "Repro.Quantum.PermOracle",
+) -> QSharpOperation:
+    """Emit a circuit as a self-adjointable Q# operation (Fig. 10 style).
+
+    Internal: dispatches the text generation through the ``qsharp``
+    backend of the :mod:`repro.emit` registry and bundles the result
+    with the executable circuit.
+    """
+    from .. import emit
+
+    code = emit.get("qsharp").emit(circuit, name=name, namespace=namespace)
+    return QSharpOperation(name, code, circuit.copy())
+
+
+_OPERATION_SHIM_WARNED = False
+
+
 def operation_from_circuit(
     name: str,
     circuit: QuantumCircuit,
     namespace: str = "Repro.Quantum.PermOracle",
 ) -> QSharpOperation:
-    """Emit a circuit as a self-adjointable Q# operation (Fig. 10 style)."""
-    body_lines = [f"            {gate_to_qsharp(g)}" for g in circuit.gates]
-    body = "\n".join(body_lines)
-    code = f"""namespace {namespace} {{
-    open Microsoft.Quantum.Primitive;
+    """Emit a circuit as a self-adjointable Q# operation (Fig. 10 style).
 
-    operation {name}
-        (qubits : Qubit[]) :
-        () {{
-        body {{
-{body}
-        }}
-        adjoint auto
-        controlled auto
-        controlled adjoint auto
-    }}
-}}"""
-    return QSharpOperation(name, code, circuit.copy())
+    .. deprecated:: 1.1
+        The text generation lives in the ``qsharp`` backend of the
+        :mod:`repro.emit` registry
+        (``repro.emit.emit(circuit, "qsharp", name=...)``); this shim
+        forwards there and warns once per process.
+
+    Args:
+        name: the Q# operation name to emit.
+        circuit: the compiled circuit to render.
+        namespace: the Q# namespace wrapping the operation.
+
+    Returns:
+        The generated operation with its executable circuit attached.
+    """
+    global _OPERATION_SHIM_WARNED
+    if not _OPERATION_SHIM_WARNED:
+        _OPERATION_SHIM_WARNED = True
+        warnings.warn(
+            "frameworks.qsharp.operation_from_circuit is deprecated; "
+            "use repro.emit.emit(circuit, 'qsharp', name=...) (the "
+            "registry keeps the same Fig. 10 text)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return _operation_from_circuit(name, circuit, namespace=namespace)
 
 
 def _resolve_target(target, synth, entry_name: str):
@@ -158,7 +194,7 @@ def permutation_oracle_operation(
         permutation = BitPermutation(list(permutation))
     target = _resolve_target(target, synth, "permutation_oracle_operation")
     result = compiler.compile(permutation, target=target, pipeline=pipeline)
-    return operation_from_circuit(name, result.circuit)
+    return _operation_from_circuit(name, result.circuit)
 
 
 def hidden_shift_program(

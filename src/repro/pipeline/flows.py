@@ -47,11 +47,15 @@ class Flow:
         name: preset identifier (``eq5``, ``qsharp``, ``device``).
         description: one-line summary shown in reports.
         passes: the pass sequence, first to last.
+        emitter: default :mod:`repro.emit` format for results of this
+            flow (used by ``CompilationResult.emit()`` when the
+            compilation carried no target); ``None`` means no default.
     """
 
     name: str
     description: str
     passes: Tuple[Pass, ...]
+    emitter: Optional[str] = None
 
     def run(
         self,
@@ -161,6 +165,7 @@ def eq5(synthesis: str = "tbs", **revgen_options) -> Flow:
             TparPass(pre_cancel=True, post_cancel=True),
             StatisticsPass(),
         ),
+        emitter="qasm2",
     )
 
 
@@ -190,6 +195,7 @@ def qsharp(synth=None, relative_phase: bool = True) -> Flow:
             MapToCliffordTPass(relative_phase=relative_phase),
             CancelPass(),
         ),
+        emitter="qsharp",
     )
 
 
@@ -222,6 +228,7 @@ def device(
         name="device",
         description="Sec. VII: cancel; lower to Clifford+T; tpar; route",
         passes=passes,
+        emitter="qasm2",
     )
 
 

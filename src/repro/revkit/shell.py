@@ -20,6 +20,12 @@ optimization / mapping command dispatches one
 :class:`~repro.pipeline.Pipeline`, inheriting its per-pass timing,
 delta records and content-keyed result cache.  ``shell.report()``
 prints the accumulated per-pass statistics.
+
+Since PR 5 the ``write_<format>`` commands resolve through the
+:mod:`repro.emit` registry: next to the historical ``write_qasm``,
+every registered format gets a command for free (``write_qasm3``,
+``write_qsharp``, ``write_projectq``, ``write_cirq``, ``write_qir``,
+and any backend registered at runtime).
 """
 
 from __future__ import annotations
@@ -84,7 +90,6 @@ class RevKitShell:
             "ps": self._cmd_ps,
             "simulate": self._cmd_simulate,
             "verify": self._cmd_verify,
-            "write_qasm": self._cmd_write_qasm,
         }
 
     # ------------------------------------------------------------------
@@ -138,8 +143,14 @@ class RevKitShell:
         tokens = shlex.split(command)
         name, args = tokens[0], tokens[1:]
         handler = self._commands.get(name)
+        if handler is None and name.startswith("write_"):
+            format_name = name[len("write_"):]
+            handler = lambda *a: self._cmd_write(format_name, *a)  # noqa: E731
         if handler is None:
-            raise ShellError(f"unknown command {name!r}")
+            raise ShellError(
+                f"unknown command {name!r} (write_<format> accepts "
+                "any repro.emit format)"
+            )
         output = handler(*args)
         self.log.append(f"{command}: {output}")
         return output
@@ -351,17 +362,33 @@ class RevKitShell:
     def verify(self) -> str:
         return self._cmd_verify()
 
-    def _cmd_write_qasm(self, *args: str) -> str:
+    def _cmd_write(self, format: str, *args: str) -> str:
+        """Write the quantum circuit in any registered emit format.
+
+        Backs every ``write_<format>`` shell command (``write_qasm``,
+        ``write_qasm3``, ``write_qsharp``, ``write_projectq``,
+        ``write_cirq``, ``write_qir``, ...): the format name resolves
+        through the :mod:`repro.emit` registry.
+        """
+        from .. import emit
+
         if not args:
-            raise ShellError("write_qasm needs a path")
+            raise ShellError(f"write_{format} needs a path")
         circuit = self._need_quantum()
-        text = circuit.to_qasm()
+        try:
+            text = emit.emit(circuit, format)
+        except emit.EmitterError as exc:
+            raise ShellError(str(exc)) from exc
         with open(args[0], "w", encoding="utf-8") as handle:
             handle.write(text)
         return f"wrote {len(text.splitlines())} lines to {args[0]}"
 
+    def write(self, format: str, path: str) -> str:
+        """Python form of the ``write_<format>`` commands."""
+        return self._cmd_write(format, path)
+
     def write_qasm(self, path: str) -> str:
-        return self._cmd_write_qasm(path)
+        return self._cmd_write("qasm", path)
 
 
 def _parse_options(args) -> Dict[str, str]:

@@ -67,7 +67,7 @@ class TestCompileCommand:
             "compile", str(path), "--target", "projectq"
         )
         assert code == 0
-        assert "workload=circuit" in out
+        assert "workload=qasm(circuit.qasm)" in out
 
     def test_json_file_workload(self, run_cli, tmp_path):
         path = tmp_path / "workload.json"
@@ -231,6 +231,73 @@ class TestTargetsCommand:
         assert code == 0
         for name in ("toffoli", "clifford_t", "ibm_qe5", "qsharp"):
             assert name in out
+
+    def test_shows_canonical_emitters(self, run_cli):
+        code, out, _err = run_cli("targets")
+        assert code == 0
+        assert "emit=qasm2" in out
+        assert "emit=projectq" in out
+
+
+class TestFormatsCommand:
+    def test_lists_registered_formats(self, run_cli):
+        from repro import emit
+
+        code, out, _err = run_cli("formats")
+        assert code == 0
+        for name in emit.formats():
+            assert name in out
+        assert "aka qasm" in out
+        assert "round-trip" in out
+
+    def test_names_mode_is_script_friendly(self, run_cli):
+        from repro import emit
+
+        code, out, _err = run_cli("formats", "--names")
+        assert code == 0
+        assert tuple(out.split()) == emit.formats()
+
+
+class TestEmitMatrix:
+    @pytest.mark.parametrize(
+        "fmt, marker",
+        [
+            ("qasm2", "OPENQASM 2.0;"),
+            ("qasm3", "OPENQASM 3.0;"),
+            ("qsharp", "operation CompiledOperation"),
+            ("projectq", "MainEngine()"),
+            ("cirq", "cirq.Circuit"),
+            ("qir", "__quantum__qis__"),
+        ],
+    )
+    def test_every_builtin_format_emits(self, run_cli, fmt, marker):
+        code, out, _err = run_cli(
+            "compile", "perm:0,2,3,5,7,1,4,6",
+            "--target", "ibm_qe5", "--emit", fmt,
+        )
+        assert code == 0
+        assert marker in out
+
+    def test_unknown_emit_format_exits_with_listing(self, run_cli):
+        code, _out, err = run_cli(
+            "compile", "hwb=3", "--emit", "verilog"
+        )
+        assert code == 2
+        assert "unknown emission format" in err
+        assert "qasm2" in err
+
+    def test_emitted_qasm_parses_back(self, run_cli, tmp_path):
+        code, out, _err = run_cli(
+            "compile", "perm:0,2,3,5,7,1,4,6",
+            "--target", "ibm_qe5", "--emit", "qasm2",
+        )
+        assert code == 0
+        path = tmp_path / "roundtrip.qasm"
+        path.write_text(out)
+        code, second, _err = run_cli(
+            "compile", str(path), "--target", "ibm_qe5", "--emit", "qasm2"
+        )
+        assert code == 0
 
 
 class TestModuleInvocation:

@@ -202,7 +202,7 @@ class TestCompilationResult:
         assert "target=qsharp" in result.summary()
 
     def test_to_qasm_round_trips(self, result):
-        from repro.core.qasm import from_qasm
+        from repro.emit.qasm2 import from_qasm
 
         parsed = from_qasm(result.to_qasm())
         assert parsed.gates == result.circuit.gates

@@ -244,3 +244,54 @@ class TestHelpers:
         assert derived.synthesis == "dbs"
         assert workload.synthesis == "tbs"
         assert isinstance(derived, Workload)
+
+
+class TestQasmWorkloads:
+    QASM = (
+        "OPENQASM 2.0;\n"
+        'include "qelib1.inc";\n'
+        "qreg q[2];\n"
+        "h q[0];\n"
+        "cx q[0], q[1];\n"
+    )
+
+    def test_source_text_detected_as_circuit(self):
+        workload = detect_workload(self.QASM)
+        assert workload.kind == "circuit"
+        assert not workload.needs_synthesis
+        assert len(workload.state.quantum.gates) == 2
+
+    def test_leading_comments_and_blank_lines_allowed(self):
+        commented = "// generated by a tool\n\n" + self.QASM
+        workload = detect_workload(commented)
+        assert workload.kind == "circuit"
+        assert len(workload.state.quantum.gates) == 2
+
+    def test_openqasm3_text_rejected_with_hint(self):
+        text = "OPENQASM 3.0;\nqubit[2] q;\n"
+        with pytest.raises(TypeError, match="OpenQASM 3 import"):
+            detect_workload(text)
+
+    def test_openqasm3_behind_comment_rejected_with_hint(self):
+        text = "// v3 header below\nOPENQASM 3.0;\nqubit[2] q;\n"
+        with pytest.raises(TypeError, match="OpenQASM 3 import"):
+            detect_workload(text)
+
+    def test_path_workload_resolves_by_extension(self, tmp_path):
+        path = tmp_path / "circ.qasm"
+        path.write_text(self.QASM)
+        workload = detect_workload(path)
+        assert workload.kind == "circuit"
+        assert "circ.qasm" in workload.description
+
+    def test_path_without_importer_lists_parseable(self, tmp_path):
+        path = tmp_path / "circ.ll"
+        path.write_text("; not importable\n")
+        with pytest.raises(TypeError, match="no importer"):
+            detect_workload(path)
+
+    def test_unknown_extension_lists_known(self, tmp_path):
+        path = tmp_path / "circ.v"
+        path.write_text("module m; endmodule\n")
+        with pytest.raises(TypeError, match="known\\s+extensions"):
+            detect_workload(path)

@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.core.circuit import QuantumCircuit
-from repro.core.qasm import QasmError, from_qasm, to_qasm
+from repro.emit.qasm2 import QasmError, from_qasm, to_qasm
 from repro.core.unitary import circuits_equivalent
 
 

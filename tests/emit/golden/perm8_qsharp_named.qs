@@ -1,0 +1,29 @@
+namespace Repro.Quantum.PermOracle {
+    open Microsoft.Quantum.Primitive;
+
+    operation GoldenOracle
+        (qubits : Qubit[]) :
+        () {
+        body {
+            CNOT(qubits[2], qubits[1]);
+            H(qubits[2]);
+            CNOT(qubits[1], qubits[2]);
+            (Adjoint T)(qubits[2]);
+            CNOT(qubits[0], qubits[2]);
+            T(qubits[2]);
+            CNOT(qubits[1], qubits[2]);
+            (Adjoint T)(qubits[2]);
+            CNOT(qubits[0], qubits[2]);
+            T(qubits[1]);
+            T(qubits[2]);
+            H(qubits[2]);
+            CNOT(qubits[0], qubits[1]);
+            T(qubits[0]);
+            (Adjoint T)(qubits[1]);
+            CNOT(qubits[1], qubits[0]);
+        }
+        adjoint auto
+        controlled auto
+        controlled adjoint auto
+    }
+}

@@ -1,0 +1,85 @@
+"""The legacy emission entry points stay importable and warn once."""
+
+import importlib
+import sys
+import warnings
+
+import pytest
+
+from repro.core.circuit import QuantumCircuit
+
+
+class TestCoreQasmShim:
+    def test_import_warns_once_then_caches(self):
+        sys.modules.pop("repro.core.qasm", None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            import repro.core.qasm  # noqa: F401
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "repro.emit" in str(deprecations[0].message)
+        # the module object is cached: a second import is silent
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            import repro.core.qasm  # noqa: F401
+        assert not caught
+
+    def test_shim_forwards_to_registry_backend(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            sys.modules.pop("repro.core.qasm", None)
+            shim = importlib.import_module("repro.core.qasm")
+        import repro.emit.qasm2 as qasm2
+
+        assert shim.to_qasm is qasm2.to_qasm
+        assert shim.from_qasm is qasm2.from_qasm
+        assert shim.QasmError is qasm2.QasmError
+        circ = QuantumCircuit(2).h(0).cx(0, 1)
+        assert shim.to_qasm(circ) == qasm2.EMITTER.emit(circ)
+
+    def test_package_reexports_do_not_warn(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            from repro.core import from_qasm, to_qasm  # noqa: F401
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+
+
+class TestOperationFromCircuitShim:
+    @pytest.fixture
+    def fresh_shim(self):
+        from repro.frameworks import qsharp
+
+        before = qsharp._OPERATION_SHIM_WARNED
+        qsharp._OPERATION_SHIM_WARNED = False
+        try:
+            yield qsharp
+        finally:
+            qsharp._OPERATION_SHIM_WARNED = before
+
+    def test_warns_once_and_forwards(self, fresh_shim):
+        circ = QuantumCircuit(2).h(0).cx(0, 1)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            op = fresh_shim.operation_from_circuit("Legacy", circ)
+            fresh_shim.operation_from_circuit("Legacy", circ)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "repro.emit" in str(deprecations[0].message)
+        from repro import emit
+
+        assert op.code == emit.emit(circ, "qsharp", name="Legacy")
+        assert op.circuit.gates == circ.gates
+
+    def test_internal_paths_do_not_warn(self, fresh_shim, paper_pi):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            fresh_shim.permutation_oracle_operation(paper_pi)
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]

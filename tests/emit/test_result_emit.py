@@ -1,0 +1,113 @@
+"""CompilationResult.emit as a thin registry dispatcher."""
+
+import pytest
+
+import repro
+from repro import emit
+from repro.compiler import EmissionError
+from repro.pipeline import flows
+
+
+@pytest.fixture
+def result(paper_pi):
+    return repro.compile(paper_pi, target="qsharp", cache=None)
+
+
+class TestDispatch:
+    def test_every_registered_format_emits(self, result):
+        for name in emit.formats():
+            text = result.emit(name)
+            assert isinstance(text, str) and text
+
+    def test_memoized_per_format_and_opts(self, result):
+        assert result.emit("cirq") is result.emit("cirq")
+        assert result.emit("qir") is result.emit("qir")
+        named = result.emit("qsharp", name="A")
+        assert named is result.emit("qsharp", name="A")
+        assert named != result.emit("qsharp", name="B")
+
+    def test_alias_hits_the_same_memo_entry(self, result):
+        assert result.emit("qasm") is result.emit("qasm2")
+        assert result.to_qasm() is result.emit("qasm")
+
+    def test_default_name_shares_emit_memo_slot(self, result):
+        # to_qsharp() with the default name must not duplicate the
+        # text emit("qsharp") already cached
+        assert result.to_qsharp() is result.emit("qsharp")
+        assert result.emit() is result.to_qsharp()
+
+    def test_qsharp_unknown_option_raises_emission_error(self, result):
+        with pytest.raises(EmissionError, match="name=/namespace="):
+            result.emit("qsharp", bogus=1)
+
+    def test_qsharp_unexportable_gate_raises_emission_error(self, paper_pi):
+        from repro.compiler import detect_workload
+        from repro.compiler.result import CompilationResult
+
+        measured = repro.compile(paper_pi, target="qsharp", cache=None)
+        circuit = measured.circuit.copy()
+        circuit.num_clbits = 1
+        circuit.measure(0, 0)
+        workload = detect_workload(circuit)
+        bundle = CompilationResult(
+            workload=workload,
+            target=None,
+            flow=flows.QSHARP,
+            state=workload.state,
+            records=[],
+        )
+        with pytest.raises(EmissionError, match="no Q# primitive"):
+            bundle.emit("qsharp")
+
+    def test_qasm2_round_trips_through_registry(self, result):
+        parsed = emit.parse(result.emit("qasm2"))
+        assert parsed.gates == result.circuit.gates
+
+
+class TestErrorPaths:
+    def test_unknown_format_lists_registered(self, result):
+        with pytest.raises(EmissionError, match="unknown emission format"):
+            result.emit("verilog")
+        with pytest.raises(EmissionError, match="qasm2 \\(aka qasm"):
+            result.emit("verilog")
+        with pytest.raises(EmissionError, match="qir"):
+            result.emit("verilog")
+
+    def test_no_default_emitter_lists_registered(self, paper_pi):
+        bare = repro.compile(paper_pi, target="clifford_t", cache=None)
+        with pytest.raises(EmissionError, match="no emission format"):
+            bare.emit()
+        with pytest.raises(EmissionError, match="registered formats"):
+            bare.emit()
+        with pytest.raises(EmissionError, match="qasm2"):
+            bare.emit()
+
+    def test_errors_are_both_pipeline_and_emitter_errors(self, result):
+        from repro.pipeline.state import PipelineError
+
+        with pytest.raises(PipelineError):
+            result.emit("verilog")
+        with pytest.raises(emit.EmitterError):
+            result.emit("verilog")
+
+    def test_backend_failure_translated(self, paper_pi):
+        mct = repro.compile(paper_pi, target="toffoli", cache=None)
+        with pytest.raises(EmissionError, match="no\\s+quantum circuit"):
+            mct.emit("qir")
+
+
+class TestFlowDefaultEmitter:
+    def test_flow_presets_carry_emitters(self):
+        assert flows.EQ5.emitter == "qasm2"
+        assert flows.QSHARP.emitter == "qsharp"
+        assert flows.DEVICE.emitter == "qasm2"
+
+    def test_flow_only_compilation_uses_flow_emitter(self, paper_pi):
+        result = repro.compile(paper_pi, flow=flows.QSHARP, cache=None)
+        # the default target carries no emitter; the flow's kicks in
+        assert result.target.emitter is None
+        assert result.emit() == result.emit("qsharp")
+
+    def test_target_emitter_wins_over_flow(self, paper_pi):
+        result = repro.compile(paper_pi, target="projectq", cache=None)
+        assert result.emit() is result.emit("projectq")

@@ -7,9 +7,9 @@ from repro.core.circuit import QuantumCircuit
 from repro.core.unitary import circuit_unitary, circuits_equivalent
 from repro.frameworks.qsharp import (
     QSharpError,
+    _operation_from_circuit as operation_from_circuit,
     gate_to_qsharp,
     hidden_shift_program,
-    operation_from_circuit,
     parse_operation_body,
     permutation_oracle_operation,
     validate_program,

@@ -121,9 +121,42 @@ class TestCommands:
         shell = RevKitShell()
         shell.run("revgen --hwb 3; tbs; rptm")
         path = tmp_path / "out.qasm"
-        shell.execute(f"write_qasm {path}")
+        output = shell.execute(f"write_qasm {path}")
         text = path.read_text()
         assert text.startswith("OPENQASM 2.0;")
+        assert output == (
+            f"wrote {len(text.splitlines())} lines to {path}"
+        )
+
+    @pytest.mark.parametrize(
+        "command, marker",
+        [
+            ("write_qasm3", "OPENQASM 3.0;"),
+            ("write_qsharp", "operation CompiledOperation"),
+            ("write_projectq", "MainEngine()"),
+            ("write_cirq", "cirq.Circuit"),
+            ("write_qir", "__quantum__qis__"),
+        ],
+    )
+    def test_write_every_registered_format(self, tmp_path, command, marker):
+        shell = RevKitShell()
+        shell.run("revgen --hwb 3; tbs; rptm")
+        path = tmp_path / "out.txt"
+        shell.execute(f"{command} {path}")
+        assert marker in path.read_text()
+
+    def test_write_unknown_format_lists_registered(self, tmp_path):
+        shell = RevKitShell()
+        shell.run("revgen --hwb 3; tbs; rptm")
+        with pytest.raises(ShellError, match="unknown emission format"):
+            shell.execute(f"write_verilog {tmp_path / 'x'}")
+
+    def test_write_python_method(self, tmp_path):
+        shell = RevKitShell()
+        shell.run("revgen --hwb 3; tbs; rptm")
+        path = tmp_path / "out.ll"
+        shell.write("qir", str(path))
+        assert "entry_point" in path.read_text()
 
     def test_python_api_mirror(self):
         shell = RevKitShell()

@@ -16,6 +16,7 @@ SUBPACKAGES = (
     "boolean",
     "compiler",
     "core",
+    "emit",
     "mapping",
     "optimization",
     "pipeline",
@@ -33,6 +34,13 @@ ENTRY_POINTS = (
     "repro.compiler.Target.flow",
     "repro.compiler.CompilerSession.compile_many",
     "repro.compiler.CompilerSession.sweep",
+    "repro.emit.register",
+    "repro.emit.unregister",
+    "repro.emit.get",
+    "repro.emit.emit",
+    "repro.emit.parse",
+    "repro.emit.emitter_for_path",
+    "repro.compiler.CompilationResult.emit",
     "repro.pipeline.Pipeline.apply",
     "repro.pipeline.Pipeline.run",
     "repro.pipeline.Flow.run",
