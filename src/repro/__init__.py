@@ -28,6 +28,11 @@ Subpackages
     The pass manager: a unified compilation pipeline with per-pass
     statistics, result caching, verification, and the paper's flow
     presets (``flows.EQ5``, ``flows.QSHARP``, ``flows.DEVICE``).
+``repro.resilience``
+    The resilience layer: cooperative deadlines, retry policies with
+    deterministic backoff, a fault-injection harness for chaos
+    testing, and the typed failure taxonomy behind graceful cache
+    degradation.
 ``repro.compiler``
     The compiler facade: ``repro.compile(workload, target=...)``
     normalizes any workload shape, resolves a ``Target`` preset to a
@@ -55,6 +60,7 @@ from . import (
     mapping,
     optimization,
     pipeline,
+    resilience,
     revkit,
     simulator,
     synthesis,
@@ -77,6 +83,7 @@ __all__ = [
     "mapping",
     "optimization",
     "pipeline",
+    "resilience",
     "revkit",
     "simulator",
     "synthesis",

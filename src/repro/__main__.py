@@ -5,6 +5,7 @@ Runs the paper's Eq. (5) story from the shell without the REPL:
 .. code-block:: console
 
     $ python -m repro compile hwb=4 --target clifford_t --stats --report
+    $ python -m repro compile hwb=4 --deadline 5 --retry 2
     $ python -m repro compile '(a and b) ^ (c and d)' --emit qasm2
     $ python -m repro compile perm:0,2,3,5,7,1,4,6 --target qsharp \
           --emit qsharp
@@ -90,6 +91,10 @@ def _cmd_compile(args: argparse.Namespace) -> int:
             flow=args.flow,
             verify=args.verify,
             cache=args.cache_dir if args.cache_dir else "shared",
+            deadline=args.deadline,
+            retry=args.retry,
+            # --retry is only meaningful if failing passes re-run
+            on_error="retry" if args.retry is not None else None,
         )
     except (PipelineError, TypeError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -123,6 +128,16 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _quarantined_entries(path: str) -> int:
+    """Count the entry files sitting in a cache's ``quarantine/``."""
+    from .pipeline.cache import QUARANTINE_DIR
+
+    try:
+        return len(os.listdir(os.path.join(path, QUARANTINE_DIR)))
+    except OSError:
+        return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     """Run the ``cache`` subcommand (stats / gc / clear)."""
     from .pipeline.cache import PassCache
@@ -141,6 +156,15 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             "path": path,
             "entries": stats["disk_entries"],
             "bytes": stats["disk_bytes"],
+            # per-instance I/O health counters (zero for this fresh
+            # maintenance instance unless the scan itself failed) and
+            # the durable quarantine count read from the directory
+            "io_errors": stats["io_errors"],
+            "memory_io_errors": stats["memory_io_errors"],
+            "disk_io_errors": stats["disk_io_errors"],
+            "retries": stats["retries"],
+            "degraded": stats["degraded"],
+            "quarantined": _quarantined_entries(path),
         }
     elif args.action == "gc":
         swept = cache.gc(
@@ -266,6 +290,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="persistent pass-cache directory (reused across runs)",
     )
+    cmd.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="compute budget for the whole compilation; an expired "
+        "budget fails with a typed deadline error naming the flow "
+        "position",
+    )
+    cmd.add_argument(
+        "--retry",
+        type=int,
+        default=None,
+        metavar="ATTEMPTS",
+        help="re-run transiently failing passes up to this many "
+        "attempts (exponential backoff)",
+    )
     cmd.set_defaults(func=_cmd_compile)
 
     lst = sub.add_parser("targets", help="list registered target presets")
@@ -289,9 +330,10 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument(
         "action",
         choices=("stats", "gc", "clear"),
-        help="stats: entry/byte totals; gc: LRU sweep down to the "
-        "given budgets (also drops corrupt entries and stale spill "
-        "temp files); clear: delete every cache entry",
+        help="stats: entry/byte totals and I/O health counters; gc: "
+        "LRU sweep down to the given budgets (also moves corrupt "
+        "entries into quarantine/ and drops stale spill temp files); "
+        "clear: delete every cache entry (quarantine/ is kept)",
     )
     cache.add_argument(
         "--cache-dir",

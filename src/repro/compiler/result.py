@@ -41,7 +41,9 @@ class CompilationResult:
         state: the final flow store.
         records: per-pass execution records, in order.
         cache_stats: snapshot of the pass cache's counters
-            (hits/misses/evictions/bytes — see
+            (hits/misses/evictions/bytes, plus the resilience
+            counters — ``io_errors`` with its memory/disk split,
+            ``retries``, ``quarantined``, ``degraded`` — see
             :meth:`repro.pipeline.PassCache.counters`) taken when
             this compilation finished; ``None`` when it ran uncached.
             The disk figures are ``None`` when the process had not

@@ -29,7 +29,11 @@ import asyncio
 import functools
 import itertools
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    TimeoutError as FuturesTimeout,
+)
 from dataclasses import dataclass, fields as dataclass_fields
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -38,9 +42,19 @@ from ..pipeline.flows import DEVICE, EQ5, QSHARP as QSHARP_FLOW, Flow
 from ..pipeline.passes import GENERATOR_KINDS
 from ..pipeline.runner import Pipeline
 from ..pipeline.state import PipelineError
+from ..resilience.errors import DeadlineExceeded
+from ..resilience.faults import fault_point
+from ..resilience.policies import Deadline, RetryPolicy, as_retry
 from .frontends import Workload, detect_workload
 from .result import CompilationResult
 from .target import Target, get_target
+
+#: Extra seconds the hard per-job backstop grants beyond
+#: ``job_timeout`` before abandoning a worker: the cooperative
+#: deadline inside the job should fire first and carry the precise
+#: flow position; the backstop exists for jobs wedged in
+#: non-cooperative code.
+_JOB_TIMEOUT_GRACE = 0.1
 
 #: Named flows accepted wherever a ``flow=`` argument takes a string.
 NAMED_FLOWS: Dict[str, Flow] = {
@@ -93,6 +107,9 @@ def compile(
     verify: bool = False,
     cache: Union[PassCache, str, None] = "shared",
     pipeline: Optional[Pipeline] = None,
+    deadline: Union[Deadline, float, None] = None,
+    retry: Union[RetryPolicy, int, None] = None,
+    on_error: Union[str, Dict[str, str], None] = None,
 ) -> CompilationResult:
     """Compile any workload for a target — the one front door.
 
@@ -118,10 +135,29 @@ def compile(
             directory path for a disk-backed cache, or ``None``.
         pipeline: explicit pass-manager runner; overrides ``verify``
             and ``cache``.
+        deadline: compute budget for the whole compilation — a
+            :class:`~repro.resilience.Deadline` or a number of
+            seconds; checked cooperatively before every pass, an
+            expired budget raises
+            :class:`~repro.resilience.DeadlineExceeded` naming the
+            flow position.
+        retry: :class:`~repro.resilience.RetryPolicy` (or attempt
+            count) re-running transiently failing passes when
+            ``on_error`` selects ``'retry'``.
+        on_error: per-pass failure policy — ``'raise'`` (default),
+            ``'retry'``, ``'fallback'`` (run the pass's declared
+            alternate), or a dict mapping pass names (and ``'*'``) to
+            policies.
 
     Returns:
         The :class:`~.result.CompilationResult` with the final
         circuit, per-pass records and lazy emitters.
+
+    Raises:
+        PipelineError: when ``pipeline=`` is combined with
+            ``deadline``/``retry``/``on_error`` — the explicit runner
+            carries its own resilience configuration; ignoring a
+            requested deadline silently would be worse than refusing.
     """
     normalized = detect_workload(workload)
     resolved_target = get_target(target)
@@ -151,8 +187,21 @@ def compile(
                 f"{normalized.description}; drop flow= or pass "
                 "workload=None"
             )
+    if pipeline is not None and (
+        deadline is not None or retry is not None or on_error is not None
+    ):
+        raise PipelineError(
+            "compile(pipeline=...) conflicts with deadline=/retry=/"
+            "on_error=; configure them on the Pipeline instead"
+        )
     if pipeline is None:
-        pipeline = Pipeline(verify=verify, cache=_resolve_cache(cache))
+        pipeline = Pipeline(
+            verify=verify,
+            cache=_resolve_cache(cache),
+            deadline=deadline,
+            retry=retry,
+            on_error=on_error,
+        )
     outcome = resolved_flow.run(
         normalized.state.copy(), pipeline=pipeline
     )
@@ -241,14 +290,34 @@ def _compile_task(task: Tuple) -> CompilationResult:
 
     A dict spec rebuilds a disk-backed :class:`PassCache` in the
     worker, including the parent's eviction budgets; strings pass
-    through :func:`_resolve_cache` unchanged.
+    through :func:`_resolve_cache` unchanged.  The job's deadline
+    starts here — in the worker, when the job actually begins — and
+    spans every retry attempt, so a retried job cannot outlive its
+    ``job_timeout``.
     """
-    workload, target, flow, verify, cache_spec = task
+    workload, target, flow, verify, cache_spec, job_timeout, retry = task
     if isinstance(cache_spec, dict):
         cache_spec = PassCache(**cache_spec)
-    return compile(
-        workload, target=target, flow=flow, verify=verify, cache=cache_spec
+    deadline = (
+        Deadline.after(job_timeout) if job_timeout is not None else None
     )
+    policy = as_retry(retry)
+
+    def attempt() -> CompilationResult:
+        """Run one (possibly retried) dispatch of the job."""
+        fault_point("session.dispatch")
+        return compile(
+            workload,
+            target=target,
+            flow=flow,
+            verify=verify,
+            cache=cache_spec,
+            deadline=deadline,
+        )
+
+    if policy is None:
+        return attempt()
+    return policy.call(attempt, site="session.dispatch", deadline=deadline)
 
 
 class CompilerSession:
@@ -269,6 +338,16 @@ class CompilerSession:
             or ``"process"`` (requires picklable workloads; share
             results across processes via a disk-backed ``cache=``
             path).
+        job_timeout: session default per-job wall-clock budget in
+            seconds for batched calls — a cooperative deadline inside
+            each job plus a hard backstop that abandons a worker not
+            returning within it; per-call ``job_timeout=`` overrides.
+        retry: session default per-job retry — a
+            :class:`~repro.resilience.RetryPolicy` or an attempt
+            count; transiently failing jobs are re-dispatched within
+            their deadline.  (Distinct from per-pass retries, which
+            live on :class:`~repro.pipeline.runner.Pipeline` via
+            ``on_error='retry'``.)
     """
 
     def __init__(
@@ -279,6 +358,8 @@ class CompilerSession:
         cache: Union[PassCache, str, None] = "shared",
         max_workers: Optional[int] = None,
         executor: str = "thread",
+        job_timeout: Optional[float] = None,
+        retry: Union[RetryPolicy, int, None] = None,
     ) -> None:
         """Resolve the session defaults and the shared cache."""
         if executor not in ("thread", "process"):
@@ -286,12 +367,20 @@ class CompilerSession:
                 f"unknown executor {executor!r}; expected 'thread' or "
                 "'process'"
             )
+        if job_timeout is not None and job_timeout <= 0:
+            raise PipelineError("job_timeout must be positive or None")
         self.target = get_target(target) if target is not None else None
         self.flow = _resolve_flow(flow)
         self.verify = verify
         self.cache = _resolve_cache(cache)
         self.max_workers = max_workers
         self.executor = executor
+        self.job_timeout = (
+            float(job_timeout) if job_timeout is not None else None
+        )
+        # kept as the raw spec (int or policy): process-pool payloads
+        # ship it to workers, where as_retry() resolves it
+        self.retry = retry
         # what a process-pool task carries to rebuild the cache in the
         # worker: a disk spec (shared tier, with eviction budgets) or
         # "shared"/None; a purely in-memory PassCache cannot cross the
@@ -338,44 +427,133 @@ class CompilerSession:
             cache=self.cache,
         )
 
+    def _compile_job(
+        self,
+        task: Tuple[Any, Union[Target, str, None], Union[Flow, None]],
+        job_timeout: Optional[float],
+        retry: Union[RetryPolicy, int, None],
+    ) -> CompilationResult:
+        """Run one batch job under its deadline and retry policy.
+
+        The deadline starts here — when the job begins on its worker,
+        not when the batch was submitted — and spans every retry
+        attempt.
+        """
+        workload, target, flow = task
+        deadline = (
+            Deadline.after(job_timeout) if job_timeout is not None else None
+        )
+        policy = as_retry(retry)
+
+        def attempt() -> CompilationResult:
+            """Run one (possibly retried) dispatch of the job."""
+            fault_point("session.dispatch")
+            return compile(
+                workload,
+                target=target if target is not None else self.target,
+                flow=flow if flow is not None else self.flow,
+                verify=self.verify,
+                cache=self.cache,
+                deadline=deadline,
+            )
+
+        if policy is None:
+            return attempt()
+        return policy.call(
+            attempt, site="session.dispatch", deadline=deadline
+        )
+
+    def _collect(
+        self, futures: List, job_timeout: Optional[float]
+    ) -> List[CompilationResult]:
+        """Await batch futures in input order (deterministic results).
+
+        With a ``job_timeout``, each wait carries a hard backstop: a
+        job whose worker does not return within the timeout (plus a
+        small grace so the cooperative in-job deadline fires first
+        with its precise flow position) raises
+        :class:`~repro.resilience.DeadlineExceeded` and the worker is
+        abandoned — never joined, never waited on.
+        """
+        results = []
+        for index, future in enumerate(futures):
+            if job_timeout is None:
+                results.append(future.result())
+                continue
+            try:
+                results.append(
+                    future.result(
+                        timeout=job_timeout + _JOB_TIMEOUT_GRACE
+                    )
+                )
+            except FuturesTimeout:
+                future.cancel()
+                raise DeadlineExceeded(
+                    f"session.job[{index}]: no result within the "
+                    f"{job_timeout:g}s job timeout (worker abandoned)",
+                    site="session.job",
+                ) from None
+        return results
+
     def _run_batch(
         self,
         tasks: List[Tuple[Any, Union[Target, str, None], Union[Flow, None]]],
+        job_timeout: Optional[float] = None,
+        retry: Union[RetryPolicy, int, None] = None,
     ) -> List[CompilationResult]:
         """Fan a list of (workload, target, flow) tasks over the pool.
 
         Results come back in task order regardless of completion
-        order, so batched runs are deterministic.
+        order, so batched runs are deterministic.  The first failing
+        (or hard-timed-out) job fails the batch: queued jobs are
+        cancelled, and the pool is shut down without joining hung
+        workers when a ``job_timeout`` is in force.
         """
         if not tasks:
             return []
-        if len(tasks) == 1:
-            workload, target, flow = tasks[0]
-            return [self.compile(workload, target=target, flow=flow)]
+        job_timeout = (
+            job_timeout if job_timeout is not None else self.job_timeout
+        )
+        retry = retry if retry is not None else self.retry
+        if len(tasks) == 1 and job_timeout is None:
+            # fast path: no backstop needed without a timeout, so the
+            # job can run on the calling thread
+            return [self._compile_job(tasks[0], None, retry)]
         if self.executor == "process":
             payload = [
-                (w, t, f, self.verify, self._cache_spec)
+                (w, t, f, self.verify, self._cache_spec, job_timeout, retry)
                 for w, t, f in tasks
             ]
-            with ProcessPoolExecutor(
-                max_workers=self.max_workers
-            ) as pool:
-                return list(pool.map(_compile_task, payload))
-        max_workers = self.max_workers or min(len(tasks), 8)
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            return list(
-                pool.map(
-                    lambda task: self.compile(
-                        task[0], target=task[1], flow=task[2]
-                    ),
-                    tasks,
+            pool: Union[ProcessPoolExecutor, ThreadPoolExecutor]
+            pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            try:
+                futures = [
+                    pool.submit(_compile_task, item) for item in payload
+                ]
+                return self._collect(futures, job_timeout)
+            finally:
+                pool.shutdown(
+                    wait=job_timeout is None, cancel_futures=True
                 )
-            )
+        max_workers = self.max_workers or min(len(tasks), 8)
+        pool = ThreadPoolExecutor(max_workers=max_workers)
+        try:
+            futures = [
+                pool.submit(self._compile_job, task, job_timeout, retry)
+                for task in tasks
+            ]
+            return self._collect(futures, job_timeout)
+        finally:
+            # wait=False under a job timeout: joining the pool here
+            # would block on the very worker the backstop abandoned
+            pool.shutdown(wait=job_timeout is None, cancel_futures=True)
 
     async def _run_batch_async(
         self,
         tasks: List[Tuple[Any, Union[Target, str, None], Union[Flow, None]]],
         max_in_flight: Optional[int] = None,
+        job_timeout: Optional[float] = None,
+        retry: Union[RetryPolicy, int, None] = None,
     ) -> List[CompilationResult]:
         """Fan (workload, target, flow) tasks out on the event loop.
 
@@ -387,10 +565,17 @@ class CompilerSession:
         re-raises its exception unwrapped, and an outer cancellation
         propagates to every pending job.  Already-running jobs finish
         on their worker in the background; their results are
-        discarded.
+        discarded.  A ``job_timeout`` bounds each job cooperatively
+        inside the worker and with an :func:`asyncio.wait_for` hard
+        backstop around it, surfaced as
+        :class:`~repro.resilience.DeadlineExceeded`.
         """
         if not tasks:
             return []
+        job_timeout = (
+            job_timeout if job_timeout is not None else self.job_timeout
+        )
+        retry = retry if retry is not None else self.retry
         loop = asyncio.get_running_loop()
         limit = max_in_flight or self.max_workers or min(len(tasks), 8)
         semaphore = asyncio.Semaphore(limit)
@@ -402,7 +587,8 @@ class CompilerSession:
                 """Ship one task to a worker process."""
                 workload, target, flow = task
                 payload = (
-                    workload, target, flow, self.verify, self._cache_spec
+                    workload, target, flow, self.verify, self._cache_spec,
+                    job_timeout, retry,
                 )
                 return loop.run_in_executor(pool, _compile_task, payload)
 
@@ -412,16 +598,32 @@ class CompilerSession:
             def submit(task):
                 """Run one task on the shared-cache thread pool."""
                 call = functools.partial(
-                    self.compile, task[0], target=task[1], flow=task[2]
+                    self._compile_job, task, job_timeout, retry
                 )
                 return loop.run_in_executor(pool, call)
 
-        async def run_one(task):
+        async def run_one(index, task):
             """Await one job under the in-flight semaphore."""
             async with semaphore:
-                return await submit(task)
+                future = submit(task)
+                if job_timeout is None:
+                    return await future
+                try:
+                    return await asyncio.wait_for(
+                        future, timeout=job_timeout + _JOB_TIMEOUT_GRACE
+                    )
+                except asyncio.TimeoutError:
+                    raise DeadlineExceeded(
+                        f"session.job[{index}]: no result within the "
+                        f"{job_timeout:g}s job timeout (worker "
+                        "abandoned)",
+                        site="session.job",
+                    ) from None
 
-        jobs = [asyncio.ensure_future(run_one(task)) for task in tasks]
+        jobs = [
+            asyncio.ensure_future(run_one(index, task))
+            for index, task in enumerate(tasks)
+        ]
         try:
             return await asyncio.gather(*jobs)
         except BaseException:
@@ -442,6 +644,8 @@ class CompilerSession:
         workloads: Sequence[Any],
         target: Union[Target, str, None] = None,
         flow: Union[Flow, str, None] = None,
+        job_timeout: Optional[float] = None,
+        retry: Union[RetryPolicy, int, None] = None,
     ) -> List[CompilationResult]:
         """Compile a batch of workloads over the session's pool.
 
@@ -452,6 +656,15 @@ class CompilerSession:
             workloads: the workload batch.
             target: per-batch target override.
             flow: per-batch flow override.
+            job_timeout: per-job wall-clock budget in seconds
+                (overrides the session default) — a cooperative
+                deadline inside each job plus a hard backstop; a job
+                exceeding it raises
+                :class:`~repro.resilience.DeadlineExceeded` and fails
+                the batch.
+            retry: per-job retry override — a
+                :class:`~repro.resilience.RetryPolicy` or attempt
+                count re-dispatching transiently failing jobs.
 
         Returns:
             One :class:`~.result.CompilationResult` per workload, in
@@ -459,7 +672,11 @@ class CompilerSession:
         """
         target = target if target is not None else self.target
         flow = flow if flow is not None else self.flow
-        return self._run_batch([(w, target, flow) for w in workloads])
+        return self._run_batch(
+            [(w, target, flow) for w in workloads],
+            job_timeout=job_timeout,
+            retry=retry,
+        )
 
     async def compile_many_async(
         self,
@@ -467,6 +684,8 @@ class CompilerSession:
         target: Union[Target, str, None] = None,
         flow: Union[Flow, str, None] = None,
         max_in_flight: Optional[int] = None,
+        job_timeout: Optional[float] = None,
+        retry: Union[RetryPolicy, int, None] = None,
     ) -> List[CompilationResult]:
         """Compile a batch of workloads on the asyncio event loop.
 
@@ -483,6 +702,9 @@ class CompilerSession:
             flow: per-batch flow override.
             max_in_flight: in-flight concurrency bound (defaults to
                 the session's ``max_workers``, else ``min(len, 8)``).
+            job_timeout: per-job wall-clock budget in seconds (see
+                :meth:`compile_many`).
+            retry: per-job retry override (see :meth:`compile_many`).
 
         Returns:
             One :class:`~.result.CompilationResult` per workload, in
@@ -493,6 +715,8 @@ class CompilerSession:
         return await self._run_batch_async(
             [(w, target, flow) for w in workloads],
             max_in_flight=max_in_flight,
+            job_timeout=job_timeout,
+            retry=retry,
         )
 
     # ------------------------------------------------------------------
@@ -542,6 +766,8 @@ class CompilerSession:
         self,
         param_grid: Dict[str, Sequence[Any]],
         base: Any = None,
+        job_timeout: Optional[float] = None,
+        retry: Union[RetryPolicy, int, None] = None,
     ) -> SweepResult:
         """Compile the cartesian product of a parameter grid.
 
@@ -561,6 +787,10 @@ class CompilerSession:
                 so results are deterministic.
             base: workload for points that do not select one via
                 generator keys.
+            job_timeout: per-point wall-clock budget in seconds (see
+                :meth:`compile_many`).
+            retry: per-point retry override (see
+                :meth:`compile_many`).
 
         Returns:
             The :class:`SweepResult`, one point per grid assignment.
@@ -572,7 +802,9 @@ class CompilerSession:
                 not apply.
         """
         assignments, tasks = self._sweep_tasks(param_grid, base)
-        results = self._run_batch(tasks)
+        results = self._run_batch(
+            tasks, job_timeout=job_timeout, retry=retry
+        )
         return SweepResult(
             points=[
                 SweepPoint(params=assignment, result=result)
@@ -585,6 +817,8 @@ class CompilerSession:
         param_grid: Dict[str, Sequence[Any]],
         base: Any = None,
         max_in_flight: Optional[int] = None,
+        job_timeout: Optional[float] = None,
+        retry: Union[RetryPolicy, int, None] = None,
     ) -> SweepResult:
         """Sweep a parameter grid on the asyncio event loop.
 
@@ -600,6 +834,10 @@ class CompilerSession:
                 keys.
             max_in_flight: in-flight concurrency bound (defaults to
                 the session's ``max_workers``, else ``min(len, 8)``).
+            job_timeout: per-point wall-clock budget in seconds (see
+                :meth:`compile_many`).
+            retry: per-point retry override (see
+                :meth:`compile_many`).
 
         Returns:
             The :class:`SweepResult`, one point per grid assignment.
@@ -610,7 +848,10 @@ class CompilerSession:
         """
         assignments, tasks = self._sweep_tasks(param_grid, base)
         results = await self._run_batch_async(
-            tasks, max_in_flight=max_in_flight
+            tasks,
+            max_in_flight=max_in_flight,
+            job_timeout=job_timeout,
+            retry=retry,
         )
         return SweepResult(
             points=[
@@ -653,6 +894,12 @@ class CompilerSession:
                 "evictions": 0,
                 "memory_evictions": 0,
                 "disk_evictions": 0,
+                "io_errors": 0,
+                "memory_io_errors": 0,
+                "disk_io_errors": 0,
+                "retries": 0,
+                "quarantined": 0,
+                "degraded": 0,
                 "disk_entries": 0,
                 "disk_bytes": 0,
             }

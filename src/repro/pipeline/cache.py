@@ -31,6 +31,17 @@ instance's own sweeps.  Pins live in the instance, so a sweep run by
 a different instance or process (e.g. ``python -m repro cache gc``)
 cannot see them; crossing that line costs a recompute, never
 corruption.
+
+The disk tier is also *resilient* (PR 6): transient I/O errors are
+retried per a :class:`~repro.resilience.RetryPolicy` and counted
+(``io_errors`` with a memory/disk split in :meth:`PassCache.stats`)
+instead of silently swallowed; corrupt or foreign-format entry files
+are moved into ``<dir>/quarantine/`` under their original names,
+never re-read and never silently deleted; and after ``degrade_after``
+*consecutive* disk failures the tier trips into memory-only degraded
+mode — compiles keep working off the memory tier, the flag shows up
+in ``stats()``/``counters()``, and :meth:`PassCache.probe` recovers
+the tier once the disk heals.
 """
 
 from __future__ import annotations
@@ -44,17 +55,39 @@ import re
 import threading
 import time
 from collections import OrderedDict
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..boolean.permutation import BitPermutation
 from ..boolean.truth_table import TruthTable
 from ..core.circuit import QuantumCircuit
 from ..core.statistics import CircuitStatistics
 from ..mapping.routing import RoutingResult
+from ..resilience.errors import DegradedCache
+from ..resilience.faults import fault_point, mutate_payload
+from ..resilience.policies import RetryPolicy, as_retry
 from ..synthesis.reversible import MctGate, ReversibleCircuit
 
 #: Default number of entries a cache retains (LRU eviction).
 DEFAULT_MAXSIZE = 512
+
+#: Default retry policy for transient disk I/O: three quick attempts
+#: with millisecond backoff — enough to ride out a transient EIO or a
+#: busy file, cheap enough that a genuinely dead disk fails fast.
+DISK_RETRY = RetryPolicy(
+    max_attempts=3,
+    base_delay=0.002,
+    multiplier=4.0,
+    max_delay=0.05,
+    jitter=0.25,
+    seed=0,
+)
+
+#: Consecutive disk failures before a tier trips into memory-only
+#: degraded mode (``degrade_after``'s default).
+DEFAULT_DEGRADE_AFTER = 5
+
+#: Subdirectory (under the cache path) corrupt entries are moved to.
+QUARANTINE_DIR = "quarantine"
 
 #: On-disk entry format version; bumped when the schema changes.
 #: Version 2 added the generation stamp (``gen``) written by every
@@ -240,6 +273,13 @@ class PassCache:
             ``None`` leaves the tier unbounded.
         max_bytes: disk-tier byte budget, enforced like
             ``max_entries``.
+        retry: retry policy for transient disk I/O — a
+            :class:`~repro.resilience.RetryPolicy`, an int (attempt
+            count), ``None`` (no retries), or ``"default"`` for
+            :data:`DISK_RETRY`.
+        degrade_after: consecutive disk failures before the tier trips
+            into memory-only degraded mode (recover via
+            :meth:`probe`); ``None`` never degrades.
     """
 
     def __init__(
@@ -248,6 +288,8 @@ class PassCache:
         path: Optional[str] = None,
         max_entries: Optional[int] = None,
         max_bytes: Optional[int] = None,
+        retry: Union[RetryPolicy, int, None, str] = "default",
+        degrade_after: Optional[int] = DEFAULT_DEGRADE_AFTER,
     ) -> None:
         """Create an empty cache with the given capacity and tier."""
         self.maxsize = maxsize
@@ -256,11 +298,27 @@ class PassCache:
             os.makedirs(self.path, exist_ok=True)
         self.max_entries = max_entries
         self.max_bytes = max_bytes
+        if isinstance(retry, str):
+            if retry != "default":
+                raise ValueError(f"unknown retry spec {retry!r}")
+            self.retry: Optional[RetryPolicy] = DISK_RETRY
+        else:
+            self.retry = as_retry(retry)
+        if degrade_after is not None and degrade_after < 1:
+            raise ValueError("degrade_after must be positive or None")
+        self.degrade_after = degrade_after
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
         self.memory_evictions = 0
         self.disk_evictions = 0
+        self.io_errors = 0
+        self.memory_io_errors = 0
+        self.disk_io_errors = 0
+        self.retries = 0
+        self.quarantined = 0
+        self._consecutive_io_errors = 0
+        self._degraded = False
         self._lock = threading.RLock()
         self._entries: (
             "OrderedDict[str, Tuple[Dict[str, Any], Dict[str, Any], bool]]"
@@ -381,6 +439,163 @@ class PassCache:
             inflight[0].set()
 
     # ------------------------------------------------------------------
+    # disk-tier resilience
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """Whether the disk tier is in memory-only degraded mode."""
+        return self._degraded
+
+    def _record_disk_error(self, site: str, advisory: bool = False) -> None:
+        """Count one I/O failure; data-path ones advance degradation.
+
+        Advisory failures (LRU access-stamp touches serving the memory
+        tier's bookkeeping) count under the memory split and never
+        trip degraded mode — losing a stamp costs eviction precision,
+        not data.
+        """
+        with self._lock:
+            self.io_errors += 1
+            if advisory:
+                self.memory_io_errors += 1
+                return
+            self.disk_io_errors += 1
+            self._consecutive_io_errors += 1
+            if (
+                self.degrade_after is not None
+                and not self._degraded
+                and self._consecutive_io_errors >= self.degrade_after
+            ):
+                self._degraded = True
+
+    def _disk_io(self, operation, site: str):
+        """Run one disk operation under the tier's retry policy.
+
+        Transient failures (per the policy's classifier) are retried
+        with backoff; the final failure is counted against the tier —
+        advancing degradation — and re-raised for the caller to turn
+        into its own fallback (skip the spill, miss the load).  Any
+        success resets the consecutive-failure streak.
+        """
+        policy = self.retry
+        attempt = 0
+        while True:
+            try:
+                result = operation()
+            except OSError as exc:
+                if (
+                    policy is not None
+                    and attempt + 1 < policy.max_attempts
+                    and policy.is_transient(exc)
+                ):
+                    with self._lock:
+                        self.retries += 1
+                    time.sleep(policy.backoff(attempt))
+                    attempt += 1
+                    continue
+                self._record_disk_error(site)
+                raise
+            with self._lock:
+                self._consecutive_io_errors = 0
+            return result
+
+    def _quarantine(
+        self, entry_path: str, key: Optional[str] = None
+    ) -> Optional[bool]:
+        """Move one corrupt entry file into ``quarantine/``.
+
+        The file keeps its original name, so an operator can inspect
+        (or replay) exactly what was rejected; quarantined files are
+        outside the content-addressed namespace and can never
+        resurrect into either tier.
+
+        Returns:
+            ``True`` when moved (or, failing that, dropped), ``None``
+            when the file was already gone, ``False`` when it could
+            not even be removed.
+        """
+        name = os.path.basename(entry_path)
+        quarantine_dir = os.path.join(self.path, QUARANTINE_DIR)
+        with self._lock:
+            try:
+                size = os.stat(entry_path).st_size
+            except OSError:
+                size = 0
+            try:
+                os.makedirs(quarantine_dir, exist_ok=True)
+                os.replace(
+                    entry_path, os.path.join(quarantine_dir, name)
+                )
+            except FileNotFoundError:
+                return None
+            except OSError:
+                # cannot move it aside — drop it rather than leave a
+                # corrupt file in place to be re-read forever
+                try:
+                    os.unlink(entry_path)
+                except FileNotFoundError:
+                    return None
+                except OSError:
+                    self._record_disk_error("cache.quarantine")
+                    return False
+            self.quarantined += 1
+            if key is not None:
+                self._spilled.discard(key)
+            self._tally_writes += 1
+            if self._disk_tally is not None:
+                entries, total = self._disk_tally
+                self._disk_tally = (
+                    max(entries - 1, 0), max(total - size, 0)
+                )
+            return True
+
+    def probe(self, strict: bool = False) -> bool:
+        """Test the disk tier; recover from degraded mode on success.
+
+        Writes, reads back, and removes one probe file under the cache
+        path.  A full round trip clears the degraded flag and the
+        consecutive-failure streak, so spills and loads resume.
+
+        Args:
+            strict: raise :class:`~repro.resilience.DegradedCache`
+                on failure instead of returning ``False``.
+
+        Returns:
+            ``True`` when the disk tier is usable (memory-only caches
+            trivially are), ``False`` otherwise.
+
+        Raises:
+            DegradedCache: on failure when ``strict`` is set.
+        """
+        if self.path is None:
+            return True
+        probe_path = os.path.join(
+            self.path,
+            f".probe.{os.getpid()}.{threading.get_ident()}",
+        )
+        try:
+            with open(probe_path, "w") as stream:
+                stream.write("probe")
+            with open(probe_path) as stream:
+                echoed = stream.read()
+            os.unlink(probe_path)
+            if echoed != "probe":
+                raise OSError(f"probe read back {echoed!r}")
+        except OSError as exc:
+            self._record_disk_error("cache.probe")
+            if strict:
+                raise DegradedCache(
+                    f"cache.probe: disk tier at {self.path!r} "
+                    f"unusable: {exc}",
+                    site="cache.probe",
+                ) from exc
+            return False
+        with self._lock:
+            self._degraded = False
+            self._consecutive_io_errors = 0
+        return True
+
+    # ------------------------------------------------------------------
     # disk tier
     # ------------------------------------------------------------------
     def _entry_path(self, key: str) -> str:
@@ -394,6 +609,8 @@ class PassCache:
         entry: Tuple[Dict[str, Any], Dict[str, Any], bool],
     ) -> None:
         """Write one entry to the disk tier (best effort)."""
+        if self._degraded:
+            return  # memory-only mode: skip the disk until probe()
         outputs, details, verified = entry
         try:
             payload = json.dumps(
@@ -413,9 +630,21 @@ class PassCache:
         # concurrent writers safe: readers see either the old or the
         # new complete entry, never a torn mix of the two
         tmp = f"{target}.tmp.{os.getpid()}.{threading.get_ident()}"
-        try:
+
+        def write() -> int:
+            """Write the payload to the temp file; return its length.
+
+            One injection visit per attempt: a raise-spec becomes a
+            (retried) I/O error, a torn-spec truncates the payload
+            exactly as an interrupted write would.
+            """
+            data = mutate_payload("cache.spill.write", payload)
             with open(tmp, "w") as stream:
-                stream.write(payload)
+                stream.write(data)
+            return len(data)
+
+        try:
+            written = self._disk_io(write, "cache.spill.write")
         except OSError:
             try:
                 os.unlink(tmp)
@@ -445,9 +674,10 @@ class PassCache:
                     entries, size = self._disk_tally
                     self._disk_tally = (
                         entries + (previous_size is None),
-                        size + len(payload) - (previous_size or 0),
+                        size + written - (previous_size or 0),
                     )
         if not replaced:
+            self._record_disk_error("cache.spill.write")
             try:
                 os.unlink(tmp)
             except OSError:
@@ -470,27 +700,50 @@ class PassCache:
         self, key: str
     ) -> Optional[Tuple[Dict[str, Any], Dict[str, Any], bool]]:
         """Read one entry back from the disk tier, if present."""
+        if self._degraded:
+            return None  # memory-only mode: miss without touching disk
         entry_path = self._entry_path(key)
+
+        def read() -> Optional[str]:
+            """Read the entry file text (``None`` on a plain miss)."""
+            fault_point("cache.load.read")
+            try:
+                with open(entry_path) as stream:
+                    return stream.read()
+            except FileNotFoundError:
+                return None  # a plain miss, not an I/O failure
+
         try:
-            with open(entry_path) as stream:
-                payload = json.load(stream)
-        except (OSError, ValueError):
+            text = self._disk_io(read, "cache.load.read")
+        except OSError:
             return None
-        if (
-            payload.get("format") != DISK_FORMAT
-            or payload.get("key") != key
-        ):
+        if text is None:
+            return None
+        try:
+            payload = json.loads(text)
+            if (
+                payload.get("format") != DISK_FORMAT
+                or payload.get("key") != key
+            ):
+                self._quarantine(entry_path, key)
+                return None
+            entry = (
+                {k: _decode(v) for k, v in payload["outputs"].items()},
+                {k: _decode(v) for k, v in payload["details"].items()},
+                bool(payload.get("verified", False)),
+            )
+        except (ValueError, KeyError, TypeError, AttributeError):
+            # torn write or foreign file: move it aside, never re-read
+            self._quarantine(entry_path, key)
             return None
         try:
             # bump the LRU access stamp gc() orders evictions by
             os.utime(entry_path, None)
+        except FileNotFoundError:
+            pass  # concurrently evicted — not an error
         except OSError:
-            pass
-        return (
-            {k: _decode(v) for k, v in payload["outputs"].items()},
-            {k: _decode(v) for k, v in payload["details"].items()},
-            bool(payload.get("verified", False)),
-        )
+            self._record_disk_error("cache.load.touch", advisory=True)
+        return entry
 
     # ------------------------------------------------------------------
     def get(
@@ -519,15 +772,24 @@ class PassCache:
                 self.hits += 1
                 self._entries.move_to_end(key)
                 on_disk = key in self._spilled
-        if entry is not None and self.path is not None and on_disk:
+        if (
+            entry is not None
+            and self.path is not None
+            and on_disk
+            and not self._degraded
+        ):
             # keep the disk LRU stamp in sync with memory-tier reuse,
             # or gc would evict the hottest shared-prefix entries
             # first (their files would never look recently used)
             try:
                 os.utime(self._entry_path(key), None)
-            except OSError:
+            except OSError as exc:
                 # the file was evicted (gc/other process): forget it,
                 # so later hits stop paying a guaranteed-failing touch
+                if not isinstance(exc, FileNotFoundError):
+                    self._record_disk_error(
+                        "cache.get.touch", advisory=True
+                    )
                 with self._lock:
                     self._spilled.discard(key)
         if entry is None and self.path is not None:
@@ -542,7 +804,13 @@ class PassCache:
                     self.disk_hits += 1
                     self.hits += 1
                     self._spilled.add(key)
-                    self._store(key, entry)
+                    try:
+                        self._store(key, entry)
+                    except OSError:
+                        # injected memory-tier failure: the caller
+                        # still gets the entry, it just is not cached
+                        self.io_errors += 1
+                        self.memory_io_errors += 1
         if entry is None:
             if count_miss:
                 with self._lock:
@@ -568,6 +836,7 @@ class PassCache:
         entry: Tuple[Dict[str, Any], Dict[str, Any], bool],
     ) -> None:
         """Insert an entry into the memory tier and apply the LRU cap."""
+        fault_point("cache.store")
         self._entries[key] = entry
         self._entries.move_to_end(key)
         if self.maxsize is not None:
@@ -609,8 +878,16 @@ class PassCache:
             dict(details),
             verified,
         )
-        with self._lock:
-            self._store(key, entry)
+        try:
+            with self._lock:
+                self._store(key, entry)
+        except OSError:
+            # injected memory-tier failure: the insert is best effort,
+            # the computed result the caller holds is unaffected
+            with self._lock:
+                self.io_errors += 1
+                self.memory_io_errors += 1
+            return
         if self.path is not None:
             # the spill encodes from this call's private entry tuple,
             # so serializing outside the lock races with nothing
@@ -636,8 +913,10 @@ class PassCache:
                 try:
                     size = os.stat(entry_path).st_size
                     os.unlink(entry_path)
+                except FileNotFoundError:
+                    pass  # never spilled or already evicted
                 except OSError:
-                    pass
+                    self._record_disk_error("cache.drop.unlink")
                 else:
                     self._tally_writes += 1
                     if self._disk_tally is not None:
@@ -661,6 +940,13 @@ class PassCache:
             self.disk_hits = 0
             self.memory_evictions = 0
             self.disk_evictions = 0
+            self.io_errors = 0
+            self.memory_io_errors = 0
+            self.disk_io_errors = 0
+            self.retries = 0
+            self.quarantined = 0
+            self._consecutive_io_errors = 0
+            self._degraded = False
             if disk and self.path is not None:
                 for name in os.listdir(self.path):
                     if _ENTRY_FILE_RE.fullmatch(name):
@@ -739,14 +1025,19 @@ class PassCache:
         Returns:
             ``True`` when unlinked, ``False`` when skipped because
             the key is in flight, ``None`` when the file was already
-            gone (another process evicted it first).
+            gone (another process evicted it first) or the unlink
+            itself failed (counted as a disk I/O error).
         """
         with self._lock:
             if self._pin_names.get(name, 0) > 0:
                 return False
             try:
+                fault_point("cache.gc.unlink")
                 os.unlink(entry_path)
+            except FileNotFoundError:
+                return None
             except OSError:
+                self._record_disk_error("cache.gc.unlink")
                 return None
             return True
 
@@ -770,17 +1061,35 @@ class PassCache:
             max_entries: per-call entry budget overriding the
                 instance's ``max_entries``.
             max_bytes: per-call byte budget overriding ``max_bytes``.
-            validate: additionally parse every entry file and drop the
-                corrupt or foreign-format ones (CLI maintenance mode).
+            validate: additionally parse every entry file and move the
+                corrupt or foreign-format ones into ``quarantine/``
+                (CLI maintenance mode); quarantined files count as
+                evicted and additionally under ``quarantined``.
 
         Returns:
-            A dict with ``scanned``, ``evicted``, ``pinned`` (skipped
-            in-flight entries) and the surviving ``entries``/``bytes``.
+            A dict with ``scanned``, ``evicted``, ``quarantined``,
+            ``pinned`` (skipped in-flight entries) and the surviving
+            ``entries``/``bytes``.
         """
         if self.path is None:
             return {
                 "scanned": 0,
                 "evicted": 0,
+                "quarantined": 0,
+                "pinned": 0,
+                "entries": 0,
+                "bytes": 0,
+            }
+        try:
+            fault_point("cache.gc.scan")
+        except OSError:
+            # a failed directory scan aborts the sweep (exactly as a
+            # failing os.listdir does): nothing evicted, tier intact
+            self._record_disk_error("cache.gc.scan")
+            return {
+                "scanned": 0,
+                "evicted": 0,
+                "quarantined": 0,
                 "pinned": 0,
                 "entries": 0,
                 "bytes": 0,
@@ -808,6 +1117,7 @@ class PassCache:
         entries = self._scan_disk()
         scanned = len(entries)
         evicted = 0
+        quarantined = 0
         if validate:
             survivors = []
             for name, entry_path, stamp, size in entries:
@@ -827,10 +1137,19 @@ class PassCache:
                 if valid:
                     survivors.append((name, entry_path, stamp, size))
                     continue
-                unlinked = self._unlink_if_unpinned(name, entry_path)
-                if unlinked:
+                # corrupt entries are quarantined, not deleted: the
+                # pin check and the move share the cache lock so an
+                # in-flight key can never be swept out from under a
+                # pipeline
+                with self._lock:
+                    if self._pin_names.get(name, 0) > 0:
+                        moved: Optional[bool] = False
+                    else:
+                        moved = self._quarantine(entry_path)
+                if moved:
                     evicted += 1
-                elif unlinked is False:  # in flight — keep it
+                    quarantined += 1
+                elif moved is False:  # in flight — keep it
                     survivors.append((name, entry_path, stamp, size))
             entries = survivors
         entries.sort(key=lambda item: item[2])  # oldest access first
@@ -869,6 +1188,7 @@ class PassCache:
         return {
             "scanned": scanned,
             "evicted": evicted,
+            "quarantined": quarantined,
             "pinned": skipped_pins,
             "entries": total_entries,
             "bytes": total_bytes,
@@ -881,10 +1201,14 @@ class PassCache:
             A dict with the in-memory ``entries``, the ``hits`` /
             ``misses`` / ``disk_hits`` counters, the total
             ``evictions`` (memory LRU plus disk gc, with the
-            ``memory_evictions`` / ``disk_evictions`` split), and the
-            disk tier's ``disk_entries`` / ``disk_bytes`` (this
-            process's incrementally-maintained view — one directory
-            scan on first use, resynced by every :meth:`gc`).
+            ``memory_evictions`` / ``disk_evictions`` split), the
+            resilience counters — total ``io_errors`` with the
+            ``memory_io_errors`` / ``disk_io_errors`` split, I/O
+            ``retries``, ``quarantined`` entries, and ``degraded``
+            (1 while the tier is memory-only) — and the disk tier's
+            ``disk_entries`` / ``disk_bytes`` (this process's
+            incrementally-maintained view — one directory scan on
+            first use, resynced by every :meth:`gc`).
         """
         disk_entries, disk_bytes = self._disk_usage()
         with self._lock:
@@ -919,6 +1243,12 @@ class PassCache:
             "evictions": self.memory_evictions + self.disk_evictions,
             "memory_evictions": self.memory_evictions,
             "disk_evictions": self.disk_evictions,
+            "io_errors": self.io_errors,
+            "memory_io_errors": self.memory_io_errors,
+            "disk_io_errors": self.disk_io_errors,
+            "retries": self.retries,
+            "quarantined": self.quarantined,
+            "degraded": int(self._degraded),
             "disk_entries": disk_entries,
             "disk_bytes": disk_bytes,
         }

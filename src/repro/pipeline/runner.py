@@ -17,21 +17,66 @@ benchmarks all execute through this runner.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
+from ..resilience.errors import DeadlineExceeded
+from ..resilience.faults import fault_point
+from ..resilience.policies import Deadline, RetryPolicy, as_deadline, as_retry
 from .cache import PassCache, shared_cache
 from .passes import Pass
 from .state import FlowState, PipelineError, state_key
 
 #: How long a follower waits for another thread computing the same
-#: cache key before giving up and computing the pass itself.
+#: cache key before giving up and computing the pass itself — the
+#: default when neither ``Pipeline(follower_timeout=...)`` nor the
+#: ``REPRO_SINGLE_FLIGHT_TIMEOUT`` environment variable overrides it.
 SINGLE_FLIGHT_TIMEOUT = 60.0
+
+#: Per-pass error policies ``on_error=`` accepts (or a dict mapping
+#: pass names to one of these).
+ON_ERROR_POLICIES = ("raise", "retry", "fallback")
+
+
+def _default_follower_timeout() -> float:
+    """Resolve the follower timeout: env override, then the constant.
+
+    Read at wait time (not construction), so tests and operators can
+    adjust ``REPRO_SINGLE_FLIGHT_TIMEOUT`` — or monkeypatch
+    :data:`SINGLE_FLIGHT_TIMEOUT` — without rebuilding pipelines.
+    """
+    raw = os.environ.get("REPRO_SINGLE_FLIGHT_TIMEOUT")
+    if raw:
+        try:
+            return float(raw)
+        except ValueError:
+            pass
+    return SINGLE_FLIGHT_TIMEOUT
 
 
 class VerificationError(PipelineError):
     """Raised when a pass breaks the flow's functional semantics."""
+
+
+def _check_on_error(
+    policy: Union[str, Dict[str, str], None]
+) -> Union[str, Dict[str, str], None]:
+    """Validate an ``on_error`` argument (policy name or per-pass dict)."""
+    values = (
+        policy.values() if isinstance(policy, dict)
+        else () if policy is None
+        else (policy,)
+    )
+    for value in values:
+        if value not in ON_ERROR_POLICIES:
+            raise PipelineError(
+                f"unknown on_error policy {value!r}; one of "
+                f"{', '.join(ON_ERROR_POLICIES)} (or a dict mapping "
+                "pass names to one of those)"
+            )
+    return policy
 
 
 def _flow_context(
@@ -211,24 +256,64 @@ class Pipeline:
         cache: a :class:`~.cache.PassCache`, the string ``"shared"``
             for the process-wide cache (default), or ``None`` to
             disable result caching.
+        follower_timeout: how long a single-flight follower waits for
+            the leader's result before recomputing itself; ``None``
+            (default) resolves ``REPRO_SINGLE_FLIGHT_TIMEOUT`` and
+            then :data:`SINGLE_FLIGHT_TIMEOUT` at wait time.
+        deadline: default compute budget for :meth:`run`/:meth:`apply`
+            — a :class:`~repro.resilience.Deadline` or seconds from
+            now; checked at cooperative checkpoints (between passes,
+            before waits), raising
+            :class:`~repro.resilience.DeadlineExceeded`.
+        retry: default :class:`~repro.resilience.RetryPolicy` (or an
+            attempt count) used when ``on_error`` selects ``retry``.
+        on_error: per-pass failure policy — ``"raise"`` (default),
+            ``"retry"`` (re-run transiently failing passes per the
+            retry policy), ``"fallback"`` (run the pass's declared
+            :attr:`~.passes.Pass.fallback` instead), or a dict mapping
+            pass names to one of those.
     """
 
     def __init__(
         self,
         verify: bool = False,
         cache: Union[PassCache, str, None] = "shared",
+        follower_timeout: Optional[float] = None,
+        deadline: Union[Deadline, float, None] = None,
+        retry: Union[RetryPolicy, int, None] = None,
+        on_error: Union[str, Dict[str, str], None] = None,
     ) -> None:
-        """Configure verification and the result cache."""
+        """Configure verification, caching, and resilience policies."""
         self.verify = verify
         if cache == "shared":
             self.cache: Optional[PassCache] = shared_cache()
         else:
             self.cache = cache
+        self.follower_timeout = (
+            float(follower_timeout) if follower_timeout is not None else None
+        )
+        self.deadline = as_deadline(deadline)
+        self.retry = as_retry(retry)
+        self.on_error = _check_on_error(on_error)
         self.history: List[PassRecord] = []
+
+    def _policy_for(
+        self, pass_: Pass, on_error: Union[str, Dict[str, str], None]
+    ) -> str:
+        """Resolve the error policy applying to one pass."""
+        policy = on_error if on_error is not None else self.on_error
+        if isinstance(policy, dict):
+            policy = policy.get(pass_.name, policy.get("*", "raise"))
+        return policy or "raise"
 
     # ------------------------------------------------------------------
     def apply(
-        self, pass_: Pass, state: FlowState
+        self,
+        pass_: Pass,
+        state: FlowState,
+        deadline: Union[Deadline, float, None] = None,
+        retry: Union[RetryPolicy, int, None] = None,
+        on_error: Union[str, Dict[str, str], None] = None,
     ) -> Tuple[FlowState, PassRecord]:
         """Run one pass on ``state`` and record what happened.
 
@@ -240,11 +325,22 @@ class Pipeline:
         eviction and :meth:`~.cache.PassCache.gc`) while in flight.
         No lock is held while a pass runs, and a nested flow that
         re-enters the same key on the same thread computes directly
-        instead of deadlocking on itself.
+        instead of deadlocking on itself.  A follower whose leader
+        stalls past the follower timeout recomputes the pass itself;
+        the wait is additionally bounded by the deadline, so a hung
+        leader can never consume a follower's whole budget.
 
         Args:
             pass_: the pass to execute.
             state: the incoming store (never mutated).
+            deadline: per-call budget (a
+                :class:`~repro.resilience.Deadline` or seconds)
+                overriding the pipeline default; checked before the
+                pass runs and around single-flight waits.
+            retry: per-call retry policy override (used when the
+                error policy selects ``retry``).
+            on_error: per-call error policy override (``raise`` /
+                ``retry`` / ``fallback`` or a per-pass-name dict).
 
         Returns:
             ``(new_state, record)``; the record is also appended to
@@ -256,7 +352,14 @@ class Pipeline:
                 recorded in that case, and a broken cached entry is
                 dropped.  Verified entries are flagged in the cache,
                 so replaying them skips re-verification.
+            repro.resilience.DeadlineExceeded: the budget ran out at
+                a cooperative checkpoint.
         """
+        deadline = as_deadline(deadline) or self.deadline
+        retry_policy = as_retry(retry) or self.retry
+        on_error = _check_on_error(on_error)
+        if deadline is not None:
+            deadline.check(site=f"pipeline.apply({pass_.name})")
         cacheable = (
             self.cache is not None and bool(pass_.writes) and pass_.cacheable
         )
@@ -272,11 +375,24 @@ class Pipeline:
                 return self._finish(
                     self._replay(pass_, state, key, cached, started)
                 )
+            fault_point("pipeline.apply.claim")
             role, event = self.cache.begin_compute(key)
             if role == "follower":
                 # another thread is computing this key — wait for it
                 # and replay; on timeout or eviction, compute anyway
-                event.wait(SINGLE_FLIGHT_TIMEOUT)
+                timeout = (
+                    self.follower_timeout
+                    if self.follower_timeout is not None
+                    else _default_follower_timeout()
+                )
+                if deadline is not None:
+                    timeout = deadline.bound(timeout)
+                fault_point("pipeline.apply.wait")
+                event.wait(timeout)
+                if deadline is not None:
+                    deadline.check(
+                        site=f"pipeline.apply.wait({pass_.name})"
+                    )
                 # restart the clock: the wait is the leader's compute
                 # time and must not be billed to this replay record
                 started = time.perf_counter()
@@ -291,13 +407,21 @@ class Pipeline:
             if role == "leader":
                 try:
                     return self._finish(
-                        self._execute(pass_, state, key, cacheable)
+                        self._execute(
+                            pass_, state, key, cacheable,
+                            deadline, retry_policy, on_error,
+                        )
                     )
                 finally:
                     self.cache.end_compute(key)
             # "reentrant": this thread already leads the key (a nested
             # flow) — fall through and compute without the registry
-        return self._finish(self._execute(pass_, state, key, cacheable))
+        return self._finish(
+            self._execute(
+                pass_, state, key, cacheable,
+                deadline, retry_policy, on_error,
+            )
+        )
 
     def _finish(
         self, outcome: Tuple[FlowState, PassRecord]
@@ -338,12 +462,62 @@ class Pipeline:
         )
         return result, record
 
+    def _run_pass(self, pass_: Pass, state: FlowState) -> FlowState:
+        """Run one pass through its fault-injection site."""
+        fault_point(f"pipeline.pass.run.{pass_.name}")
+        return pass_.run(state)
+
     def _execute(
-        self, pass_: Pass, state: FlowState, key: str, cacheable: bool
+        self,
+        pass_: Pass,
+        state: FlowState,
+        key: str,
+        cacheable: bool,
+        deadline: Optional[Deadline] = None,
+        retry: Optional[RetryPolicy] = None,
+        on_error: Union[str, Dict[str, str], None] = None,
     ) -> Tuple[FlowState, PassRecord]:
-        """Actually run the pass, verify, cache, and record it."""
+        """Actually run the pass, verify, cache, and record it.
+
+        The resolved error policy shapes failure handling: ``retry``
+        re-runs the pass on transient errors per the retry policy
+        (bounded by the deadline), ``fallback`` switches to the
+        pass's declared alternate — recorded in the result's details
+        as ``fallback_for`` — and ``raise`` (default) propagates.
+        """
+        policy = self._policy_for(pass_, on_error)
         run_started = time.perf_counter()
-        result = pass_.run(state)
+        try:
+            if policy == "retry" and retry is not None:
+                result = retry.call(
+                    lambda: self._run_pass(pass_, state),
+                    site=f"pipeline.pass.run.{pass_.name}",
+                    deadline=deadline,
+                )
+            else:
+                result = self._run_pass(pass_, state)
+        except Exception as error:
+            fallback = getattr(pass_, "fallback", None)
+            if policy != "fallback" or fallback is None:
+                raise
+            if isinstance(error, DeadlineExceeded):
+                raise  # no budget left for an alternate either
+            alternate_cacheable = (
+                self.cache is not None
+                and bool(fallback.writes)
+                and fallback.cacheable
+            )
+            alternate_key = (
+                self._cache_key(fallback, state)
+                if alternate_cacheable
+                else ""
+            )
+            outcome = self._execute(
+                fallback, state, alternate_key, alternate_cacheable,
+                deadline, retry, "raise",
+            )
+            outcome[1].details["fallback_for"] = pass_.name
+            return outcome
         seconds = time.perf_counter() - run_started
         details = pass_.statistics(state, result)
         if self.verify:
@@ -377,13 +551,21 @@ class Pipeline:
         passes: Union[Iterable[Pass], Any],
         state: Optional[FlowState] = None,
         flow_name: Optional[str] = None,
+        deadline: Union[Deadline, float, None] = None,
+        retry: Union[RetryPolicy, int, None] = None,
+        on_error: Union[str, Dict[str, str], None] = None,
     ) -> PipelineResult:
         """Execute a sequence of passes (or a flow) end to end.
 
         A pass that raises mid-flow is re-raised with its position:
         :class:`~.state.PipelineError` subclasses get the flow name
         and ``pass i/n`` prefixed to their message, other exceptions
-        keep their type and message and gain a traceback note.
+        keep their type and message and gain a traceback note.  The
+        deadline — per-call or the pipeline default — is checked
+        before every pass (a cooperative checkpoint), so an expired
+        budget surfaces as a
+        :class:`~repro.resilience.DeadlineExceeded` naming the flow
+        position instead of a runaway flow.
 
         Args:
             passes: an iterable of passes, or any object with a
@@ -391,6 +573,12 @@ class Pipeline:
             state: the initial store; a fresh empty one by default.
             flow_name: name used in error context; inferred from
                 ``passes.name`` when a flow object is given.
+            deadline: compute budget for the whole sequence (a
+                :class:`~repro.resilience.Deadline` or seconds);
+                overrides the pipeline default.
+            retry: retry policy override for ``on_error='retry'``.
+            on_error: error policy override (``raise`` / ``retry`` /
+                ``fallback`` or a per-pass-name dict).
 
         Returns:
             A :class:`PipelineResult` with the final store and the
@@ -400,12 +588,16 @@ class Pipeline:
             if flow_name is None:
                 flow_name = getattr(passes, "name", None)
             passes = passes.passes
+        deadline = as_deadline(deadline) or self.deadline
         sequence = list(passes)
         current = state if state is not None else FlowState()
         records: List[PassRecord] = []
         for index, pass_ in enumerate(sequence):
             try:
-                current, record = self.apply(pass_, current)
+                current, record = self.apply(
+                    pass_, current,
+                    deadline=deadline, retry=retry, on_error=on_error,
+                )
             except PipelineError as exc:
                 where = _flow_context(flow_name, index, len(sequence), pass_)
                 try:

@@ -1,0 +1,73 @@
+"""The resilience layer: deadlines, retries, faults, degradation.
+
+The ROADMAP's north star is a long-running compilation service; this
+package is the reliability substrate such a service stands on:
+
+* :mod:`~.policies` — :class:`Deadline` (a monotonic budget checked
+  at cooperative checkpoints) and :class:`RetryPolicy` (bounded
+  attempts, exponential backoff, deterministic jitter, a transient-
+  error classifier);
+* :mod:`~.errors` — the typed failure taxonomy
+  (:class:`ResilienceError` → :class:`DeadlineExceeded`,
+  :class:`RetriesExhausted`, :class:`DegradedCache`), all under
+  :class:`~repro.pipeline.state.PipelineError` so flow-context
+  wrapping applies;
+* :mod:`~.faults` — named injection sites planted along the stack's
+  I/O and concurrency edges, activated by a :class:`FaultPlan` (per
+  test or via ``REPRO_FAULTS``) — the chaos-testing harness that
+  proves every degraded path ends in a correct circuit or a typed
+  error.
+
+The wiring lives where the work happens: ``Pipeline.run``/``apply``
+accept ``deadline=``/``on_error=``, :class:`~repro.pipeline.PassCache`
+retries transient disk I/O and degrades to memory-only, and
+``CompilerSession.compile_many``/``sweep`` take ``job_timeout=`` /
+``retry=`` so one poisoned job cannot sink a batch.
+"""
+
+from .errors import (
+    DeadlineExceeded,
+    DegradedCache,
+    ResilienceError,
+    RetriesExhausted,
+)
+from .faults import (
+    ACTIONS,
+    KNOWN_SITES,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    InjectedOSError,
+    InjectedTimeout,
+    active_plan,
+    fault_point,
+    install,
+    is_injected,
+    mutate_payload,
+    plan_from_env,
+)
+from .policies import Deadline, RetryPolicy, as_deadline, as_retry
+
+__all__ = [
+    "ResilienceError",
+    "DeadlineExceeded",
+    "RetriesExhausted",
+    "DegradedCache",
+    "Deadline",
+    "RetryPolicy",
+    "as_deadline",
+    "as_retry",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "InjectedOSError",
+    "InjectedTimeout",
+    "ACTIONS",
+    "KNOWN_SITES",
+    "active_plan",
+    "fault_point",
+    "install",
+    "is_injected",
+    "mutate_payload",
+    "plan_from_env",
+]

@@ -1,0 +1,69 @@
+"""The resilience error taxonomy.
+
+Every failure mode the resilience layer turns from a hang or a silent
+swallow into a typed signal lives here, under one base class:
+
+* :class:`ResilienceError` — the common base, a
+  :class:`~repro.pipeline.state.PipelineError` so flow-context
+  prefixing (``flow 'eq5' pass 3/6 ...``) applies unchanged;
+* :class:`DeadlineExceeded` — a cooperative deadline ran out;
+* :class:`RetriesExhausted` — a retry policy gave up on a transiently
+  failing operation;
+* :class:`DegradedCache` — a disk cache tier is (still) unusable.
+
+Each error *names its site* inside the message (``cache.spill.write``,
+``session.job[3]``, ...), so the site survives the pipeline's
+re-raise-with-context wrapping, which rebuilds exceptions from their
+message alone.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..pipeline.state import PipelineError
+
+
+class ResilienceError(PipelineError):
+    """Base class for typed failures raised by the resilience layer.
+
+    Args:
+        message: human-readable description; by convention it starts
+            with the failing site name so context-wrapping re-raises
+            preserve it.
+        site: optional machine-readable site name (``cache.load.read``,
+            ``pipeline.pass.run.tbs``, ...); informational — the
+            message is the durable carrier.
+    """
+
+    def __init__(self, message: str, site: Optional[str] = None) -> None:
+        """Store the message and remember the failing site."""
+        super().__init__(message)
+        self.site = site
+
+
+class DeadlineExceeded(ResilienceError):
+    """Raised when a cooperative :class:`~.policies.Deadline` expires.
+
+    Deadlines are checked at cooperative checkpoints (between passes,
+    before single-flight waits, around retry sleeps), so the error
+    surfaces at the next checkpoint after the budget runs out — never
+    mid-pass.
+    """
+
+
+class RetriesExhausted(ResilienceError):
+    """Raised when a :class:`~.policies.RetryPolicy` gives up.
+
+    The original (last) exception is chained as ``__cause__``; the
+    message records the site and the attempt count.
+    """
+
+
+class DegradedCache(ResilienceError):
+    """Raised when a disk cache tier is required but unusable.
+
+    :meth:`repro.pipeline.PassCache.probe` raises this in strict mode
+    when the tier is still failing; degraded-mode operation itself is
+    silent (memory-only) and only recorded in the cache's counters.
+    """

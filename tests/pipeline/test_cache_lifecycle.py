@@ -56,6 +56,7 @@ class TestGcOrdering:
         assert cache.gc(max_entries=0) == {
             "scanned": 0,
             "evicted": 0,
+            "quarantined": 0,
             "pinned": 0,
             "entries": 0,
             "bytes": 0,

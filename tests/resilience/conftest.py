@@ -1,0 +1,74 @@
+"""Chaos-suite fixtures: fault plans, hypothesis profiles, reporting.
+
+The CI chaos job runs this suite with ``HYPOTHESIS_PROFILE=ci`` and
+``REPRO_FAULTS_REPORT=FAULTS_report.json``: every plan activated
+through the :func:`chaos` fixture contributes its exercised-site
+accounting to that artifact, so the job's log shows exactly which
+injection sites each run covered.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.resilience import FaultPlan, install
+
+settings.register_profile(
+    "ci",
+    max_examples=30,
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "dev",
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+#: Fixed seed for every plan the suite activates — chaos runs are
+#: deterministic, in CI and locally.
+PLAN_SEED = 1701
+
+_REPORTS = []
+
+
+@pytest.fixture
+def chaos(request):
+    """Yield an activator installing a ``FaultPlan`` for one test.
+
+    Call it with a list of spec dicts (``site``/``action``/``times``/
+    ``skip``/``seconds``/``error``); the plan is installed process-wide
+    until the test ends, then released (unblocking any pending hangs),
+    uninstalled, and its report queued for the ``FAULTS_report.json``
+    artifact.
+    """
+    installed = []
+
+    def activate(specs, seed=PLAN_SEED, name=None):
+        plan = FaultPlan(specs, seed=seed, name=name or request.node.name)
+        installed.append((plan, install(plan)))
+        return plan
+
+    yield activate
+    for plan, previous in reversed(installed):
+        plan.release()
+        install(previous)
+        _REPORTS.append(plan.report())
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the aggregated fault report when the env asks for one."""
+    target = os.environ.get("REPRO_FAULTS_REPORT")
+    if target and _REPORTS:
+        with open(target, "w") as stream:
+            json.dump(
+                {"seed": PLAN_SEED, "plans": _REPORTS},
+                stream,
+                indent=2,
+                sort_keys=True,
+            )

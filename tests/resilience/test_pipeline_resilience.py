@@ -1,0 +1,331 @@
+"""Chaos tests for the pipeline layer: deadlines, retries, fallbacks.
+
+Every scenario must end in either a correct result or a *typed* error
+(`DeadlineExceeded`, `RetriesExhausted`, an injected error) carrying
+its flow position — never a hang and never a silently wrong circuit.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.pipeline import (
+    FlowState,
+    PassCache,
+    Pipeline,
+    PipelineError,
+    SynthesisPass,
+)
+from repro.pipeline.passes import Pass
+from repro.pipeline.runner import _default_follower_timeout
+from repro.resilience import (
+    Deadline,
+    DeadlineExceeded,
+    InjectedOSError,
+    RetriesExhausted,
+    RetryPolicy,
+)
+from repro.revkit import generators
+
+#: A retry policy that never sleeps — chaos tests should be fast.
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+
+
+class FlakyPass(Pass):
+    """A pass failing ``failures`` times before succeeding."""
+
+    stage = "transform"
+    writes = ("artifacts",)
+    cacheable = False  # stateful by design — must never be cached
+
+    def __init__(self, failures=0, error=OSError, name="flaky"):
+        """Configure the failure budget and the error type."""
+        self.failures = failures
+        self.error = error
+        self.name = name
+        self.calls = 0
+
+    def run(self, state):
+        """Fail until the budget is spent, then record the call count."""
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error(f"{self.name} failure #{self.calls}")
+        result = state.copy()
+        result.artifacts[self.name] = self.calls
+        return result
+
+
+class SleepPass(Pass):
+    """A pass spending real wall-clock time."""
+
+    name = "sleepy"
+    stage = "transform"
+    writes = ("artifacts",)
+    cacheable = False
+
+    def __init__(self, seconds):
+        """Store how long each run sleeps."""
+        self.seconds = seconds
+
+    def run(self, state):
+        """Sleep, then pass the store through."""
+        time.sleep(self.seconds)
+        return state.copy()
+
+
+class TestDeadlines:
+    def test_expired_budget_names_the_flow_position(self):
+        pipeline = Pipeline(cache=None)
+        with pytest.raises(DeadlineExceeded) as info:
+            pipeline.run(
+                [SleepPass(0.1), SleepPass(0.1)],
+                flow_name="chaos",
+                deadline=0.02,
+            )
+        message = str(info.value)
+        # the second pass's checkpoint trips: the error carries the
+        # flow name, the 1-based position, and the budget
+        assert "flow 'chaos'" in message
+        assert "pass 2/2" in message
+        assert "deadline of 0.02s exceeded" in message
+
+    def test_deadline_fires_between_passes_never_mid_pass(self):
+        flaky = FlakyPass(name="witness")
+        pipeline = Pipeline(cache=None)
+        result = pipeline.run(
+            [SleepPass(0.05), flaky], deadline=60
+        )
+        assert flaky.calls == 1  # ample budget: everything ran
+        assert result.state.artifacts["witness"] == 1
+
+    def test_pipeline_default_deadline_applies(self):
+        pipeline = Pipeline(cache=None, deadline=0.01)
+        with pytest.raises(DeadlineExceeded):
+            pipeline.run([SleepPass(0.05), SleepPass(0.05)])
+
+    def test_per_call_deadline_overrides_pipeline_default(self):
+        pipeline = Pipeline(cache=None, deadline=0.01)
+        result = pipeline.run(
+            [SleepPass(0.05), FlakyPass()], deadline=60
+        )
+        assert len(result.records) == 2
+
+    def test_shared_deadline_object_spans_layers(self):
+        deadline = Deadline.after(60)
+        pipeline = Pipeline(cache=None)
+        pipeline.run([FlakyPass()], deadline=deadline)
+        assert not deadline.expired()  # same budget, not restarted
+
+
+class TestRetryPolicyOnPasses:
+    def test_transient_pass_failures_are_retried(self):
+        flaky = FlakyPass(failures=2, error=OSError)
+        pipeline = Pipeline(
+            cache=None, on_error="retry", retry=FAST_RETRY
+        )
+        result = pipeline.run([flaky])
+        assert flaky.calls == 3
+        assert result.state.artifacts["flaky"] == 3
+
+    def test_exhausted_retries_raise_typed_error_with_context(self):
+        flaky = FlakyPass(failures=99, error=OSError)
+        pipeline = Pipeline(
+            cache=None, on_error="retry", retry=FAST_RETRY
+        )
+        with pytest.raises(RetriesExhausted) as info:
+            pipeline.run([flaky], flow_name="chaos")
+        assert flaky.calls == FAST_RETRY.max_attempts
+        message = str(info.value)
+        assert "flow 'chaos'" in message
+        assert "pipeline.pass.run.flaky" in message
+
+    def test_non_transient_failures_are_not_retried(self):
+        flaky = FlakyPass(failures=99, error=ValueError)
+        pipeline = Pipeline(
+            cache=None, on_error="retry", retry=FAST_RETRY
+        )
+        with pytest.raises(ValueError):
+            pipeline.run([flaky])
+        assert flaky.calls == 1
+
+    def test_retry_count_shorthand(self):
+        flaky = FlakyPass(failures=1, error=OSError)
+        pipeline = Pipeline(cache=None, on_error="retry", retry=2)
+        pipeline.run([flaky])
+        assert flaky.calls == 2
+
+
+class TestFallbacks:
+    def test_failing_pass_switches_to_its_fallback(self):
+        alternate = FlakyPass(name="plan-b")
+        broken = FlakyPass(
+            failures=99, error=RuntimeError, name="plan-a"
+        ).with_fallback(alternate)
+        pipeline = Pipeline(cache=None, on_error="fallback")
+        result = pipeline.run([broken])
+        record = result.records[0]
+        assert record.name == "plan-b"
+        assert record.details["fallback_for"] == "plan-a"
+        assert result.state.artifacts["plan-b"] == 1
+
+    def test_pass_without_fallback_raises_under_fallback_policy(self):
+        broken = FlakyPass(failures=99, error=RuntimeError)
+        pipeline = Pipeline(cache=None, on_error="fallback")
+        with pytest.raises(RuntimeError):
+            pipeline.run([broken])
+
+    def test_deadline_exceeded_never_triggers_a_fallback(self):
+        alternate = FlakyPass(name="plan-b")
+        broken = FlakyPass(
+            failures=99, error=DeadlineExceeded, name="plan-a"
+        ).with_fallback(alternate)
+        pipeline = Pipeline(cache=None, on_error="fallback")
+        with pytest.raises(DeadlineExceeded):
+            pipeline.run([broken])
+        assert alternate.calls == 0  # no budget left for plan B either
+
+    def test_per_pass_policy_dict(self):
+        retried = FlakyPass(failures=1, error=OSError, name="retried")
+        covered = FlakyPass(
+            failures=99, error=RuntimeError, name="covered"
+        ).with_fallback(FlakyPass(name="cover"))
+        pipeline = Pipeline(
+            cache=None,
+            retry=FAST_RETRY,
+            on_error={"retried": "retry", "covered": "fallback"},
+        )
+        result = pipeline.run([retried, covered])
+        assert retried.calls == 2
+        assert result.records[1].details["fallback_for"] == "covered"
+
+    def test_unknown_policy_is_rejected(self):
+        with pytest.raises(PipelineError, match="unknown on_error"):
+            Pipeline(on_error="explode")
+        with pytest.raises(PipelineError, match="unknown on_error"):
+            Pipeline(on_error={"tbs": "explode"})
+
+
+class TestInjectedPassFaults:
+    def seed(self, n=3):
+        """Return a flow store carrying an hwb specification."""
+        return FlowState(function=generators.hwb(n))
+
+    def test_injected_transient_fault_is_retried_to_success(self, chaos):
+        chaos([{"site": "pipeline.pass.run.tbs", "times": 1,
+                "error": "fault"}])
+        pipeline = Pipeline(
+            cache=None, on_error="retry", retry=FAST_RETRY
+        )
+        state, record = pipeline.apply(SynthesisPass("tbs"), self.seed())
+        reference = SynthesisPass("tbs").run(self.seed())
+        assert state.reversible.gates == reference.reversible.gates
+        assert not record.cache_hit
+
+    def test_claim_site_fault_surfaces_typed_not_hung(self, chaos):
+        chaos([{"site": "pipeline.apply.claim", "times": 1}])
+        pipeline = Pipeline(cache=PassCache())
+        with pytest.raises(InjectedOSError):
+            pipeline.apply(SynthesisPass("tbs"), self.seed())
+        # the fault is spent: the same apply now succeeds
+        state, _record = pipeline.apply(SynthesisPass("tbs"), self.seed())
+        assert state.reversible is not None
+
+
+class TestSingleFlightTimeout:
+    def seed(self):
+        """Return a flow store carrying an hwb specification."""
+        return FlowState(function=generators.hwb(3))
+
+    def hung_leader(self, cache, seed):
+        """Claim the tbs key as a leader that never finishes."""
+        key = Pipeline(cache=cache)._cache_key(SynthesisPass("tbs"), seed)
+        role, _event = cache.begin_compute(key)
+        assert role == "leader"
+        return key
+
+    def run_follower(self, pipeline, seed):
+        """Run one follower apply in a thread; return its outcome."""
+        outcome = {}
+
+        def follower():
+            """Apply the pass and record gates/hit (or the error)."""
+            try:
+                state, record = pipeline.apply(SynthesisPass("tbs"), seed)
+            except PipelineError as exc:
+                outcome["error"] = exc
+            else:
+                outcome["gates"] = state.reversible.gates
+                outcome["hit"] = record.cache_hit
+        thread = threading.Thread(target=follower)
+        thread.start()
+        thread.join(timeout=30)
+        assert not thread.is_alive(), "follower hung"
+        return outcome
+
+    def test_follower_recomputes_past_constructor_timeout(self):
+        cache = PassCache()
+        seed = self.seed()
+        key = self.hung_leader(cache, seed)
+        try:
+            outcome = self.run_follower(
+                Pipeline(cache=cache, follower_timeout=0.05), seed
+            )
+        finally:
+            cache.end_compute(key)
+        assert outcome["hit"] is False  # recomputed, not replayed
+        reference = SynthesisPass("tbs").run(self.seed())
+        assert outcome["gates"] == reference.reversible.gates
+
+    def test_env_variable_overrides_the_default_timeout(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SINGLE_FLIGHT_TIMEOUT", "0.05")
+        assert _default_follower_timeout() == 0.05
+        cache = PassCache()
+        seed = self.seed()
+        key = self.hung_leader(cache, seed)
+        try:
+            started = time.monotonic()
+            outcome = self.run_follower(Pipeline(cache=cache), seed)
+            elapsed = time.monotonic() - started
+        finally:
+            cache.end_compute(key)
+        assert outcome["hit"] is False
+        assert elapsed < 10  # nowhere near the 60s default
+
+    def test_invalid_env_value_falls_back_to_the_constant(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SINGLE_FLIGHT_TIMEOUT", "soon-ish")
+        from repro.pipeline.runner import SINGLE_FLIGHT_TIMEOUT
+
+        assert _default_follower_timeout() == SINGLE_FLIGHT_TIMEOUT
+
+    def test_deadline_bounds_the_follower_wait(self):
+        cache = PassCache()
+        seed = self.seed()
+        key = self.hung_leader(cache, seed)
+        # the deadline, not the 60s follower timeout, must win
+        pipeline = Pipeline(cache=cache, follower_timeout=60.0)
+        outcome = {}
+
+        def follower():
+            """Wait on the hung leader under a tiny deadline."""
+            try:
+                pipeline.apply(SynthesisPass("tbs"), seed, deadline=0.1)
+            except DeadlineExceeded as exc:
+                outcome["error"] = exc
+
+        try:
+            started = time.monotonic()
+            thread = threading.Thread(target=follower)
+            thread.start()
+            thread.join(timeout=30)
+            assert not thread.is_alive(), "follower hung"
+            elapsed = time.monotonic() - started
+        finally:
+            cache.end_compute(key)
+        assert isinstance(outcome.get("error"), DeadlineExceeded)
+        assert "pipeline.apply.wait(tbs)" in str(outcome["error"])
+        assert elapsed < 10

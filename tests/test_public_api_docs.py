@@ -20,6 +20,7 @@ SUBPACKAGES = (
     "mapping",
     "optimization",
     "pipeline",
+    "resilience",
     "revkit",
     "simulator",
     "synthesis",
@@ -43,6 +44,10 @@ ENTRY_POINTS = (
     "repro.compiler.CompilationResult.emit",
     "repro.pipeline.Pipeline.apply",
     "repro.pipeline.Pipeline.run",
+    "repro.pipeline.PassCache.probe",
+    "repro.resilience.Deadline.after",
+    "repro.resilience.RetryPolicy.call",
+    "repro.resilience.FaultPlan.mutate",
     "repro.pipeline.Flow.run",
     "repro.pipeline.eq5",
     "repro.pipeline.qsharp",
