@@ -28,6 +28,11 @@ Obligations of the `repro.compile()` front door:
   `retry=`) costs < 2% wall-clock over the plain warm sweep, and the
   results stay gate-identical; the measured overhead lands in
   `extra_info` (`resilience_overhead`).
+* **Verification overhead (PR 7)** — the same warm eq5 sweep with
+  `verify="auto"` costs < 15% wall-clock over verify-off, every
+  point verifies with each pass record naming its tier, and the
+  measured overhead (plus the first fully-checked sweep) lands in
+  `extra_info` (`verify_overhead`, `verify_first_sweep_s`).
 
 Timing asserts are skipped on shared CI runners (`CI` env var) where
 timers are too noisy; CI still smokes both paths and uploads the
@@ -286,6 +291,91 @@ def test_resilience_overhead(benchmark):
     if benchmark.enabled and not os.environ.get("CI"):
         assert overhead < 0.02, (
             f"resilience overhead {overhead * 100:.2f}% exceeds 2%"
+        )
+
+
+def test_verify_overhead(benchmark):
+    """Tiered verification must stay cheap on the warm path.
+
+    Obligations (PR 7): a warm eq5 sweep compiled with
+    `verify="auto"` costs < 15% extra wall-clock over the same warm
+    sweep with verification off, stays gate-identical, and every
+    point comes back `verified` with each pass record naming its
+    tier.  The steady state rides the cache's `verified` flag — an
+    entry checked once replays as tier `cache` — while the first
+    verified sweep (real tier checks on every replay) is recorded
+    separately in `extra_info["verify_first_sweep_s"]`.
+    """
+    cache = PassCache()
+    plain_session = CompilerSession(cache=cache, max_workers=1)
+    verified_session = CompilerSession(
+        cache=cache, max_workers=1, verify="auto"
+    )
+    plain = plain_session.sweep(SWEEP_GRID)  # warm the cache unverified
+    assert len(plain) == 8
+
+    started = time.perf_counter()
+    verified = verified_session.sweep(SWEEP_GRID)
+    first_verified_s = time.perf_counter() - started
+
+    # verification is behaviorally invisible: same points, same gates
+    assert [p.params for p in verified] == [p.params for p in plain]
+    for plain_point, verified_point in zip(plain, verified):
+        assert (
+            plain_point.result.circuit.gates
+            == verified_point.result.circuit.gates
+        )
+        assert verified_point.result.verified
+        for record in verified_point.result.records:
+            assert record.verification is not None
+            assert record.verification.tier
+
+    def run_warm_plain():
+        return plain_session.sweep(SWEEP_GRID)
+
+    def run_warm_verified():
+        return verified_session.sweep(SWEEP_GRID)
+
+    benchmark(run_warm_verified)
+
+    # interleave the measurements so clock drift hits both sides
+    plain_s = verified_s = float("inf")
+    for _ in range(15):
+        started = time.perf_counter()
+        run_warm_plain()
+        plain_s = min(plain_s, time.perf_counter() - started)
+        started = time.perf_counter()
+        run_warm_verified()
+        verified_s = min(verified_s, time.perf_counter() - started)
+    overhead = verified_s / plain_s - 1.0
+
+    tiers = sorted(
+        {
+            record.verification.tier
+            for point in verified
+            for record in point.result.records
+        }
+    )
+    benchmark.extra_info["warm_plain_s"] = plain_s
+    benchmark.extra_info["warm_verified_s"] = verified_s
+    benchmark.extra_info["verify_first_sweep_s"] = first_verified_s
+    benchmark.extra_info["verify_overhead"] = overhead
+    benchmark.extra_info["verify_tiers"] = tiers
+
+    report(
+        "tiered verification on a warm eq5 sweep (verify=auto)",
+        [
+            ("warm plain best", f"{plain_s * 1e3:.2f}ms"),
+            ("warm verified best", f"{verified_s * 1e3:.2f}ms"),
+            ("first verified sweep", f"{first_verified_s * 1e3:.2f}ms"),
+            ("overhead", f"{overhead * 100:+.2f}%"),
+            ("tiers used", ", ".join(tiers)),
+            ("all points verified", True),
+        ],
+    )
+    if benchmark.enabled and not os.environ.get("CI"):
+        assert overhead < 0.15, (
+            f"tiered-verify overhead {overhead * 100:.2f}% exceeds 15%"
         )
 
 

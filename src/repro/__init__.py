@@ -33,6 +33,11 @@ Subpackages
     deterministic backoff, a fault-injection harness for chaos
     testing, and the typed failure taxonomy behind graceful cache
     degradation.
+``repro.verify``
+    Tiered equivalence checking: the ``EquivalenceChecker`` picks the
+    cheapest sound tier per pass (permutation tables, stabilizer
+    tableaus, dense unitaries, seeded fidelity probes), every verdict
+    names its tier, and skipped checks are always explicit.
 ``repro.compiler``
     The compiler facade: ``repro.compile(workload, target=...)``
     normalizes any workload shape, resolves a ``Target`` preset to a
@@ -64,6 +69,7 @@ from . import (
     revkit,
     simulator,
     synthesis,
+    verify,
 )
 from .compiler import (
     CompilationResult,
@@ -87,6 +93,7 @@ __all__ = [
     "revkit",
     "simulator",
     "synthesis",
+    "verify",
     "CompilationResult",
     "CompilerSession",
     "Target",

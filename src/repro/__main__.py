@@ -107,6 +107,8 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         else:
             info = out
             print(result.summary(), file=info)
+        if args.verify not in (None, "off"):
+            print(result.verification_report(), file=info)
         if args.report:
             print(result.report(), file=info)
         if args.stats:
@@ -264,8 +266,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cmd.add_argument(
         "--verify",
-        action="store_true",
-        help="fail-fast functional verification of every pass",
+        nargs="?",
+        const="auto",
+        default=None,
+        choices=("auto", "strict", "off"),
+        help="fail-fast tiered verification of every pass: 'auto' "
+        "(also the bare-flag default) picks the cheapest sound tier "
+        "per pass, 'strict' additionally fails on skipped checks, "
+        "'off' disables; omitted, the target's verify field applies",
     )
     cmd.add_argument(
         "--stats",

@@ -91,6 +91,36 @@ class CompilationResult:
         """Return how many passes replayed cached results."""
         return sum(1 for record in self.records if record.cache_hit)
 
+    @property
+    def verified(self) -> bool:
+        """Whether every pass carries a *passed* verification verdict.
+
+        ``False`` for unverified compilations and whenever any pass's
+        check was skipped — an unchecked pass is never reported as
+        verified (skips are explicit in :meth:`verification_report`).
+        """
+        return bool(self.records) and all(
+            record.verification is not None and record.verification.passed
+            for record in self.records
+        )
+
+    def verification_report(self) -> str:
+        """Format each pass's verification verdict, one per line.
+
+        Returns:
+            Lines of ``<pass>: <status> (tier <tier>, <ms>)`` — or a
+            single placeholder line when the compilation ran
+            unverified.
+        """
+        lines = []
+        for record in self.records:
+            if record.verification is None:
+                continue
+            lines.append(f"{record.name}: {record.verification.describe()}")
+        if not lines:
+            return "(compilation ran unverified)"
+        return "\n".join(lines)
+
     def metrics(self) -> Dict[str, Any]:
         """Return the cost metrics of the final store.
 

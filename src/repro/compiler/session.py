@@ -45,6 +45,7 @@ from ..pipeline.state import PipelineError
 from ..resilience.errors import DeadlineExceeded
 from ..resilience.faults import fault_point
 from ..resilience.policies import Deadline, RetryPolicy, as_retry
+from ..verify.checker import EquivalenceChecker
 from .frontends import Workload, detect_workload
 from .result import CompilationResult
 from .target import Target, get_target
@@ -104,7 +105,7 @@ def compile(
     workload: Any,
     target: Union[Target, str, None] = None,
     flow: Union[Flow, str, None] = None,
-    verify: bool = False,
+    verify: Union[bool, str, EquivalenceChecker, None] = None,
     cache: Union[PassCache, str, None] = "shared",
     pipeline: Optional[Pipeline] = None,
     deadline: Union[Deadline, float, None] = None,
@@ -129,7 +130,14 @@ def compile(
         flow: explicit :class:`~repro.pipeline.flows.Flow` (or preset
             name ``eq5``/``qsharp``/``device``) overriding target
             resolution.
-        verify: fail-fast functional verification of every pass.
+        verify: fail-fast functional verification of every pass —
+            ``"auto"``/``True`` runs the tiered
+            :class:`~repro.verify.EquivalenceChecker` (every pass
+            record names the tier that checked it), ``"strict"``
+            additionally fails on skipped checks, ``"off"``/``False``
+            disables, a configured checker is used as-is, and
+            ``None`` (default) defers to the target's ``verify``
+            field.
         cache: a :class:`~repro.pipeline.cache.PassCache`,
             ``"shared"`` (default) for the process-wide cache, a
             directory path for a disk-backed cache, or ``None``.
@@ -161,6 +169,8 @@ def compile(
     """
     normalized = detect_workload(workload)
     resolved_target = get_target(target)
+    if verify is None:
+        verify = resolved_target.verify
     resolved_flow = _resolve_flow(flow)
     if resolved_flow is None:
         resolved_flow = resolved_target.flow(normalized)
@@ -328,7 +338,11 @@ class CompilerSession:
             :class:`~.target.Target`); ``None`` keeps the library
             default.
         flow: session default flow override.
-        verify: fail-fast functional verification of every pass.
+        verify: fail-fast functional verification of every pass —
+            ``"auto"``/``"strict"``/``"off"``, a boolean, a
+            configured :class:`~repro.verify.EquivalenceChecker`, or
+            ``None`` (default) to defer to each target's ``verify``
+            field.
         cache: ``"shared"`` (default), a
             :class:`~repro.pipeline.cache.PassCache`, a directory
             path for a disk-backed cache, or ``None``.
@@ -354,7 +368,7 @@ class CompilerSession:
         self,
         target: Union[Target, str, None] = None,
         flow: Union[Flow, str, None] = None,
-        verify: bool = False,
+        verify: Union[bool, str, EquivalenceChecker, None] = None,
         cache: Union[PassCache, str, None] = "shared",
         max_workers: Optional[int] = None,
         executor: str = "thread",

@@ -51,6 +51,7 @@ from ..pipeline.passes import (
     TparPass,
 )
 from ..pipeline.state import PipelineError
+from ..verify.checker import as_checker
 from .frontends import Workload, detect_workload
 
 #: The Clifford+T basis the mapping stage emits.
@@ -82,6 +83,11 @@ class Target:
             frontend recommendation is used when ``None``.
         relative_phase: use relative-phase Toffolis in the mapping.
         collect_statistics: append the ``ps`` statistics pass.
+        verify: default verification mode for compilations against
+            this target — ``"off"`` (default), ``"auto"`` (tiered
+            checking of every pass), ``"strict"`` (a skipped check
+            also fails), or ``True``/``False``; an explicit
+            ``repro.compile(verify=...)`` argument overrides it.
     """
 
     name: str
@@ -93,14 +99,20 @@ class Target:
     synthesis: Optional[Union[str, Callable]] = field(default=None)
     relative_phase: bool = True
     collect_statistics: bool = False
+    verify: Union[bool, str] = "off"
 
     def __post_init__(self) -> None:
-        """Resolve ``emitter`` through the :mod:`repro.emit` registry.
+        """Canonicalize ``emitter`` and validate the ``verify`` mode.
 
         Raises:
             PipelineError: for emission formats the registry does not
-                know (the message lists the registered ones).
+                know (the message lists the registered ones), or an
+                unknown verification mode.
         """
+        try:
+            as_checker(self.verify)
+        except ValueError as exc:
+            raise PipelineError(f"target {self.name!r}: {exc}") from exc
         if self.emitter is None:
             return
         try:

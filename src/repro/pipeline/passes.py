@@ -13,13 +13,14 @@ objects: constructor arguments select the algorithm variant, and
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, Optional, Tuple
 
 from ..boolean.permutation import BitPermutation
 from ..boolean.truth_table import TruthTable
 from ..core.statistics import circuit_statistics
 from ..mapping.barenco import map_to_clifford_t
-from ..mapping.routing import CouplingMap, route_circuit, verify_routing
+from ..mapping.routing import CouplingMap, route_circuit
 from ..optimization.simplify import cancel_adjacent_gates, simplify_reversible
 from ..optimization.templates import template_optimize
 from ..optimization.tpar import tpar_optimize
@@ -31,7 +32,8 @@ from ..synthesis.transformation import (
     bidirectional_synthesis,
     transformation_based_synthesis,
 )
-from . import verification
+from ..verify.checker import EquivalenceChecker, default_checker
+from ..verify.verdict import Verdict
 from .state import FlowState, PipelineError
 
 
@@ -105,6 +107,11 @@ class Pass:
     def verify(self, before: FlowState, after: FlowState) -> Optional[str]:
         """Check that the pass preserved the flow's semantics.
 
+        The default implementation delegates to the tiered
+        :meth:`check` with the default checker; subclasses may
+        override this hook with a custom check (the pipeline then
+        reports it under the ``custom`` tier).
+
         Args:
             before: store content entering the pass.
             after: store content the pass produced.
@@ -113,7 +120,75 @@ class Pass:
             ``None`` on success (or when no check applies), else a
             human-readable failure message.
         """
-        return None
+        verdict = self._tiered_check(default_checker(), before, after)
+        return verdict.detail if verdict.failed else None
+
+    #: marks the un-overridden hook so :meth:`check` can tell library
+    #: tiered checks apart from user-defined ``verify`` overrides.
+    verify.__tiered__ = True  # type: ignore[attr-defined]
+
+    def check(
+        self,
+        checker: EquivalenceChecker,
+        before: FlowState,
+        after: FlowState,
+    ) -> Verdict:
+        """Run the tiered semantic check for this pass.
+
+        Library passes implement :meth:`_tiered_check` and get full
+        tier/cost/verdict reporting; a subclass that overrides the
+        legacy :meth:`verify` hook instead is honored verbatim and
+        reported under the ``custom`` tier.
+
+        Args:
+            checker: the pipeline's
+                :class:`~repro.verify.EquivalenceChecker`.
+            before: store content entering the pass.
+            after: store content the pass produced.
+
+        Returns:
+            The :class:`~repro.verify.Verdict` of the check.
+        """
+        if getattr(type(self).verify, "__tiered__", False):
+            return self._tiered_check(checker, before, after)
+        started = time.perf_counter()
+        failure = self.verify(before, after)
+        seconds = time.perf_counter() - started
+        if failure is not None:
+            return Verdict.reject("custom", failure, seconds)
+        return Verdict.accept(
+            "custom", seconds, detail="pass-defined verify() hook"
+        )
+
+    def _tiered_check(
+        self,
+        checker: EquivalenceChecker,
+        before: FlowState,
+        after: FlowState,
+    ) -> Verdict:
+        """Tiered check implementation.
+
+        The base implementation covers passes that leave the flow's
+        semantic payloads alone (statistics, reporting, cache
+        bookkeeping): when every semantic store field is unchanged —
+        by identity or by value — the pass trivially preserved the
+        semantics and the check passes at the ``syntactic`` tier.
+        A pass that did rewrite a semantic field but declares no
+        check gets an explicit skip, never a silent pass.
+        """
+        for field in ("function", "reversible", "quantum", "routing"):
+            old = getattr(before, field)
+            new = getattr(after, field)
+            if old is new:
+                continue
+            if old is not None and new is not None and old == new:
+                continue
+            return checker.no_check(
+                f"pass {self.name!r} declares no functional check"
+            )
+        return Verdict.accept(
+            "syntactic", detail="semantic store fields unchanged"
+        )
 
     def statistics(self, before: FlowState, after: FlowState) -> Dict[str, Any]:
         """Report pass-specific statistics for the flow record.
@@ -217,12 +292,42 @@ class GeneratePass(Pass):
 
     def run(self, state: FlowState) -> FlowState:
         """Write the generated specification into ``function``."""
+        out = state.copy()
+        out.function = self._generate()
+        return out
+
+    def _generate(self):
+        """Build the specification (deterministic in the signature)."""
         from ..revkit import generators
 
-        out = state.copy()
         generate = getattr(generators, _GENERATORS[self.kind])
-        out.function = generate(self.n, **self.params)
-        return out
+        return generate(self.n, **self.params)
+
+    def _tiered_check(
+        self,
+        checker: EquivalenceChecker,
+        before: FlowState,
+        after: FlowState,
+    ) -> Verdict:
+        """Re-run the (deterministic) generator and compare outputs."""
+        import time as _time
+
+        started = _time.perf_counter()
+        expected = self._generate()
+        seconds = _time.perf_counter() - started
+        if after.function == expected:
+            return Verdict.accept(
+                "specification",
+                seconds,
+                detail="regenerated specification matches",
+                checks=1,
+            )
+        return Verdict.reject(
+            "specification",
+            "stored specification differs from the regenerated one",
+            seconds,
+            checks=1,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -328,20 +433,46 @@ class SynthesisPass(Pass):
             out.reversible = circuit
         return out
 
-    def verify(self, before: FlowState, after: FlowState) -> Optional[str]:
+    def _tiered_check(
+        self,
+        checker: EquivalenceChecker,
+        before: FlowState,
+        after: FlowState,
+    ) -> Verdict:
         """Check the cascade against the specification."""
         function, cascade = after.function, after.reversible
+        started = time.perf_counter()
         if cascade is None:
-            return "synthesis produced no cascade"
+            return Verdict.reject(
+                "specification",
+                "synthesis produced no cascade",
+                time.perf_counter() - started,
+            )
         if self.method == "esop" and isinstance(function, TruthTable):
-            if not verify_esop_circuit(cascade, function):
-                return "esop cascade does not compute the truth table"
-            return None
+            ok = verify_esop_circuit(cascade, function)
+            seconds = time.perf_counter() - started
+            if not ok:
+                return Verdict.reject(
+                    "specification",
+                    "esop cascade does not compute the truth table",
+                    seconds,
+                )
+            return Verdict.accept(
+                "specification", seconds, detail="esop covers agree"
+            )
         if self.method == "bdd" and isinstance(function, TruthTable):
-            if not verify_bdd_synthesis(after.artifacts["bdd"], function):
-                return "bdd cascade does not compute the truth table"
-            return None
-        return verification.check_specification(cascade, function)
+            ok = verify_bdd_synthesis(after.artifacts["bdd"], function)
+            seconds = time.perf_counter() - started
+            if not ok:
+                return Verdict.reject(
+                    "specification",
+                    "bdd cascade does not compute the truth table",
+                    seconds,
+                )
+            return Verdict.accept(
+                "specification", seconds, detail="bdd evaluation agrees"
+            )
+        return checker.check_specification(cascade, function)
 
 
 # ----------------------------------------------------------------------
@@ -378,9 +509,14 @@ class SimplifyPass(Pass):
         )
         return out
 
-    def verify(self, before: FlowState, after: FlowState) -> Optional[str]:
+    def _tiered_check(
+        self,
+        checker: EquivalenceChecker,
+        before: FlowState,
+        after: FlowState,
+    ) -> Verdict:
         """Check that the cascade permutation is unchanged."""
-        return verification.check_same_permutation(
+        return checker.check_same_permutation(
             before.reversible, after.reversible
         )
 
@@ -401,9 +537,14 @@ class TemplatePass(Pass):
         out.reversible = template_optimize(state.reversible)
         return out
 
-    def verify(self, before: FlowState, after: FlowState) -> Optional[str]:
+    def _tiered_check(
+        self,
+        checker: EquivalenceChecker,
+        before: FlowState,
+        after: FlowState,
+    ) -> Verdict:
         """Check that the cascade permutation is unchanged."""
-        return verification.check_same_permutation(
+        return checker.check_same_permutation(
             before.reversible, after.reversible
         )
 
@@ -489,19 +630,24 @@ class MapToCliffordTPass(Pass):
         )
         return out
 
-    def verify(self, before: FlowState, after: FlowState) -> Optional[str]:
+    def _tiered_check(
+        self,
+        checker: EquivalenceChecker,
+        before: FlowState,
+        after: FlowState,
+    ) -> Verdict:
         """Check the mapped circuit against its actual source.
 
-        Cascade lowering uses the ancilla-aware basis-state check;
-        quantum-circuit lowering uses the extended-unitary check,
-        which also covers register widening by clean ancillae.  An
+        Cascade lowering uses the ancilla-aware basis-state tiers;
+        quantum-circuit lowering uses the extended-unitary tiers,
+        which also cover register widening by clean ancillae.  An
         untouched circuit (on-need lowering found nothing to lower)
-        skips the dense compute.
+        passes syntactically without any simulation.
         """
         if after.quantum is None:
-            return None
+            return checker.no_check("mapping produced no quantum circuit")
         if not self._uses_quantum_source(before):
-            return verification.check_mapped_circuit(
+            return checker.check_mapped_circuit(
                 after.quantum, before.reversible
             )
         if before.quantum is not None:
@@ -509,11 +655,13 @@ class MapToCliffordTPass(Pass):
                 before.quantum.num_qubits == after.quantum.num_qubits
                 and before.quantum.gates == after.quantum.gates
             ):
-                return None
-            return verification.check_extended_unitary(
+                return Verdict.accept(
+                    "syntactic", detail="circuit unchanged"
+                )
+            return checker.check_extended_unitary(
                 before.quantum, after.quantum
             )
-        return None
+        return checker.no_check("mapping had no source circuit to compare")
 
     def statistics(self, before: FlowState, after: FlowState) -> Dict[str, Any]:
         """Report whether the output is pure Clifford+T."""
@@ -541,9 +689,14 @@ class CancelPass(Pass):
         out.quantum = cancel_adjacent_gates(state.quantum)
         return out
 
-    def verify(self, before: FlowState, after: FlowState) -> Optional[str]:
+    def _tiered_check(
+        self,
+        checker: EquivalenceChecker,
+        before: FlowState,
+        after: FlowState,
+    ) -> Verdict:
         """Check unitary equivalence up to global phase."""
-        return verification.check_same_unitary(before.quantum, after.quantum)
+        return checker.check_same_unitary(before.quantum, after.quantum)
 
 
 class TparPass(Pass):
@@ -583,9 +736,14 @@ class TparPass(Pass):
         out.quantum = work
         return out
 
-    def verify(self, before: FlowState, after: FlowState) -> Optional[str]:
+    def _tiered_check(
+        self,
+        checker: EquivalenceChecker,
+        before: FlowState,
+        after: FlowState,
+    ) -> Verdict:
         """Check unitary equivalence up to global phase."""
-        return verification.check_same_unitary(before.quantum, after.quantum)
+        return checker.check_same_unitary(before.quantum, after.quantum)
 
 
 # ----------------------------------------------------------------------
@@ -635,19 +793,19 @@ class RoutePass(Pass):
         out.routing = result
         return out
 
-    def verify(self, before: FlowState, after: FlowState) -> Optional[str]:
-        """Check the routed circuit with ``verify_routing``.
+    def _tiered_check(
+        self,
+        checker: EquivalenceChecker,
+        before: FlowState,
+        after: FlowState,
+    ) -> Verdict:
+        """Check the routed circuit under its layout.
 
         The dense check builds unitaries at the *routed* (device)
-        width, so the skip guard uses that width, not the logical one.
+        width, so tier selection uses that width, not the logical one;
+        wider circuits fall back to seeded layout-aware probes.
         """
-        if after.routing is None:
-            return "routing produced no result"
-        if after.routing.circuit.num_qubits > verification.MAX_VERIFY_QUBITS:
-            return None
-        if not verify_routing(before.quantum, after.routing):
-            return "routed circuit is not equivalent under its layout"
-        return None
+        return checker.check_routing(before.quantum, after.routing)
 
     def statistics(self, before: FlowState, after: FlowState) -> Dict[str, Any]:
         """Report the SWAP count of the routing result."""

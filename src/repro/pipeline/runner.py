@@ -25,6 +25,8 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 from ..resilience.errors import DeadlineExceeded
 from ..resilience.faults import fault_point
 from ..resilience.policies import Deadline, RetryPolicy, as_deadline, as_retry
+from ..verify.checker import EquivalenceChecker, as_checker
+from ..verify.verdict import Verdict
 from .cache import PassCache, shared_cache
 from .passes import Pass
 from .state import FlowState, PipelineError, state_key
@@ -126,6 +128,10 @@ class PassRecord:
         before: :func:`state_metrics` of the incoming store.
         after: :func:`state_metrics` of the outgoing store.
         details: pass-specific statistics (swap counts, ...).
+        verification: the :class:`~repro.verify.Verdict` of the
+            pass's functional check — which tier ran, its cost and
+            outcome — or ``None`` when the pipeline ran unverified.
+            A skipped check is recorded explicitly, never silently.
     """
 
     name: str
@@ -135,6 +141,7 @@ class PassRecord:
     before: Dict[str, Any] = field(default_factory=dict)
     after: Dict[str, Any] = field(default_factory=dict)
     details: Dict[str, Any] = field(default_factory=dict)
+    verification: Optional[Verdict] = None
 
     def delta(self, metric: str) -> Optional[int]:
         """Return ``after - before`` for ``metric`` when both exist.
@@ -169,6 +176,11 @@ class PassRecord:
         for key, value in self.details.items():
             if isinstance(value, (int, bool, str)):
                 parts.append(f"{key}={value}")
+        if self.verification is not None:
+            parts.append(
+                f"verify={self.verification.status}"
+                f":{self.verification.tier}"
+            )
         return "  ".join(parts)
 
 
@@ -198,6 +210,18 @@ class PipelineResult:
     def total_seconds(self) -> float:
         """Return the summed wall-clock time of all passes."""
         return sum(record.seconds for record in self.records)
+
+    @property
+    def verified(self) -> bool:
+        """Whether every pass carries a *passed* verification verdict.
+
+        ``False`` for unverified runs and whenever any pass's check
+        was skipped — a skip is never promoted to a pass.
+        """
+        return bool(self.records) and all(
+            record.verification is not None and record.verification.passed
+            for record in self.records
+        )
 
     def record(self, name: str) -> PassRecord:
         """Return the first record of the pass called ``name``.
@@ -250,9 +274,13 @@ class Pipeline:
 
     Args:
         verify: functionally verify every pass (fail-fast — the first
-            failing pass raises :class:`VerificationError`).  Dense
-            checks are skipped above the widths in
-            :mod:`~.verification`.
+            failing pass raises :class:`VerificationError`).  Accepts
+            ``True``/``"auto"`` (tiered checking, skips recorded
+            explicitly), ``"strict"`` (a skipped check also raises),
+            ``False``/``"off"``/``None``, or a configured
+            :class:`~repro.verify.EquivalenceChecker`.  Each pass
+            record carries the :class:`~repro.verify.Verdict` naming
+            the tier that ran.
         cache: a :class:`~.cache.PassCache`, the string ``"shared"``
             for the process-wide cache (default), or ``None`` to
             disable result caching.
@@ -276,7 +304,7 @@ class Pipeline:
 
     def __init__(
         self,
-        verify: bool = False,
+        verify: Union[bool, str, EquivalenceChecker, None] = False,
         cache: Union[PassCache, str, None] = "shared",
         follower_timeout: Optional[float] = None,
         deadline: Union[Deadline, float, None] = None,
@@ -284,7 +312,8 @@ class Pipeline:
         on_error: Union[str, Dict[str, str], None] = None,
     ) -> None:
         """Configure verification, caching, and resilience policies."""
-        self.verify = verify
+        self.checker = as_checker(verify)
+        self.verify = self.checker is not None
         if cache == "shared":
             self.cache: Optional[PassCache] = shared_cache()
         else:
@@ -442,15 +471,14 @@ class Pipeline:
         outputs, details, verified = cached
         result = self._apply_outputs(state, outputs)
         seconds = time.perf_counter() - started
-        if self.verify and not verified:
-            failure = pass_.verify(state, result)
-            if failure is not None:
-                # never replay a broken entry again
-                self.cache.drop(key)
-                raise VerificationError(
-                    f"pass {pass_.name!r}: {failure}"
+        verdict: Optional[Verdict] = None
+        if self.verify:
+            if verified:
+                verdict = Verdict.accept(
+                    "cache", detail="verified when first computed"
                 )
-            self.cache.mark_verified(key)
+            else:
+                verdict = self._check(pass_, state, result, key=key)
         record = PassRecord(
             name=pass_.name,
             stage=pass_.stage,
@@ -459,6 +487,7 @@ class Pipeline:
             before=state_metrics(state),
             after=state_metrics(result),
             details=details,
+            verification=verdict,
         )
         return result, record
 
@@ -520,14 +549,11 @@ class Pipeline:
             return outcome
         seconds = time.perf_counter() - run_started
         details = pass_.statistics(state, result)
+        verdict: Optional[Verdict] = None
         if self.verify:
             # verify BEFORE caching: a broken result must never be
             # stored, or later verify=False runs would replay it
-            failure = pass_.verify(state, result)
-            if failure is not None:
-                raise VerificationError(
-                    f"pass {pass_.name!r}: {failure}"
-                )
+            verdict = self._check(pass_, state, result)
         record = PassRecord(
             name=pass_.name,
             stage=pass_.stage,
@@ -536,15 +562,60 @@ class Pipeline:
             before=state_metrics(state),
             after=state_metrics(result),
             details=details,
+            verification=verdict,
         )
         if cacheable:
+            # the verified flag is only set for a *passed* check — a
+            # skipped one must stay re-checkable, never a silent pass
             self.cache.put(
                 key,
                 self._collect_outputs(pass_, state, result),
                 details,
-                verified=self.verify,
+                verified=verdict is not None and verdict.passed,
             )
         return result, record
+
+    def _check(
+        self,
+        pass_: Pass,
+        state: FlowState,
+        result: FlowState,
+        key: Optional[str] = None,
+    ) -> Verdict:
+        """Run the tiered check and enforce the pipeline's mode.
+
+        Args:
+            pass_: the pass whose result is being checked.
+            state: store content entering the pass.
+            result: store content the pass produced.
+            key: cache key of a replayed entry — a broken entry is
+                dropped before raising, a passed one is flagged
+                verified so later replays skip the re-check.
+
+        Returns:
+            The pass's :class:`~repro.verify.Verdict`.
+
+        Raises:
+            VerificationError: the check rejected, or it was skipped
+                while the checker runs in strict mode.
+        """
+        verdict = pass_.check(self.checker, state, result)
+        if verdict.failed:
+            if key is not None:
+                # never replay a broken entry again
+                self.cache.drop(key)
+            raise VerificationError(
+                f"pass {pass_.name!r} failed verification "
+                f"(tier {verdict.tier}): {verdict.detail}"
+            )
+        if verdict.skipped and self.checker.strict:
+            raise VerificationError(
+                f"pass {pass_.name!r} could not be verified under "
+                f"strict mode (tier {verdict.tier}): {verdict.detail}"
+            )
+        if key is not None and verdict.passed:
+            self.cache.mark_verified(key)
+        return verdict
 
     def run(
         self,

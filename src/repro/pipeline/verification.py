@@ -1,32 +1,53 @@
-"""Functional-verification helpers used by the pass manager.
+"""Legacy functional-verification helpers (now a tiered-checker shim).
 
 Sec. IX of the paper lists verification as an obligation of the design
 automation flow: after every rewrite the circuit must still implement
-its specification.  These helpers back the :class:`~.runner.Pipeline`
-``verify`` flag — permutation checks for reversible cascades, and the
-dense column/unitary checks for mapped quantum circuits (feasible for
-the small widths the paper's artifacts use).
+its specification.  The pass manager now runs the tiered
+:class:`~repro.verify.EquivalenceChecker` directly; this module keeps
+the old helper-function surface for callers like the RevKit shell, but
+every helper returns a :class:`~repro.verify.Verdict` instead of the
+old ``Optional[str]``.
+
+That signature change fixes a silent-skip bug: the old helpers
+returned ``None`` both for *passed* and for *skipped-above-the-width-
+limit*, so a caller could report a circuit "verified" that was never
+checked.  A :class:`~repro.verify.Verdict` keeps the two outcomes
+distinct (``verdict.passed`` vs. ``verdict.skipped``).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import replace
 
-import numpy as np
-
-from ..boolean.permutation import BitPermutation
 from ..core.circuit import QuantumCircuit
 from ..synthesis.reversible import ReversibleCircuit
+from ..verify.checker import EquivalenceChecker, default_checker
+from ..verify.verdict import Verdict
 
 #: Widest circuit for which dense unitary checks are attempted.
 MAX_VERIFY_QUBITS = 10
 
 
+def _checker(max_qubits: int) -> EquivalenceChecker:
+    """Build a checker whose dense/table limits honor ``max_qubits``."""
+    base = default_checker()
+    if (
+        max_qubits == base.max_dense_qubits
+        and max_qubits <= base.max_table_lines
+    ):
+        return base
+    return replace(
+        base,
+        max_dense_qubits=max_qubits,
+        max_table_lines=max(base.max_table_lines, max_qubits),
+    )
+
+
 def check_mapped_circuit(
     quantum: QuantumCircuit,
     reversible: ReversibleCircuit,
-    max_qubits: int = MAX_VERIFY_QUBITS + 1,
-) -> Optional[str]:
+    max_qubits: int = MAX_VERIFY_QUBITS,
+) -> Verdict:
     """Check a mapped circuit against its reversible specification.
 
     The mapped circuit may use extra (clean) ancilla lines; the check
@@ -36,64 +57,40 @@ def check_mapped_circuit(
     Args:
         quantum: the Clifford+T (or otherwise mapped) circuit.
         reversible: the MCT cascade it must implement.
-        max_qubits: skip (return ``None``) above this width.
+        max_qubits: widest *data register* checked densely; wider
+            circuits fall back to probes or an explicit skip.
 
     Returns:
-        ``None`` when the check passes or is skipped, else a message
-        describing the first mismatching basis input.
+        The tier's :class:`~repro.verify.Verdict` — a skip is
+        explicit, never conflated with a pass.
     """
-    from ..core.unitary import circuit_unitary
-
-    if quantum.num_qubits > max_qubits:
-        return None
-    perm = reversible.permutation()
-    unitary = circuit_unitary(quantum)
-    n = reversible.num_lines
-    for x in range(1 << n):
-        column = unitary[:, x]
-        index = int(np.argmax(np.abs(column)))
-        if (
-            abs(abs(column[index]) - 1.0) > 1e-9
-            or np.abs(column).sum() - abs(column[index]) > 1e-9
-            or index != perm(x)
-        ):
-            return f"mismatch at input {x}"
-    return None
+    return _checker(max_qubits).check_mapped_circuit(quantum, reversible)
 
 
 def check_same_unitary(
     before: QuantumCircuit,
     after: QuantumCircuit,
     max_qubits: int = MAX_VERIFY_QUBITS,
-) -> Optional[str]:
+) -> Verdict:
     """Check two circuits for unitary equivalence up to global phase.
 
     Args:
         before: the circuit entering the pass.
         after: the circuit the pass produced.
-        max_qubits: skip (return ``None``) above this width.
+        max_qubits: widest circuit checked with dense unitaries;
+            Clifford remainders and probe tiers still apply above it.
 
     Returns:
-        ``None`` when equivalent (or skipped), else a message.
+        The tier's :class:`~repro.verify.Verdict`.
     """
-    from ..core.unitary import circuit_unitary
-
-    if before.num_qubits != after.num_qubits:
-        return "pass changed the circuit width"
-    if before.num_qubits > max_qubits:
-        return None
-    if before.has_measurements() or after.has_measurements():
-        return None
-    u_before = circuit_unitary(before)
-    u_after = circuit_unitary(after)
-    return _compare_up_to_phase(u_before, u_after)
+    return _checker(max_qubits).check_same_unitary(before, after)
 
 
 def check_extended_unitary(
     before: QuantumCircuit,
     after: QuantumCircuit,
-    max_qubits: int = MAX_VERIFY_QUBITS + 1,
-) -> Optional[str]:
+    max_qubits: int = MAX_VERIFY_QUBITS,
+) -> Verdict:
     """Check a lowering that may have appended clean ancilla qubits.
 
     The widened circuit must act as ``|psi>|0> -> (U|psi>)|0>`` with
@@ -104,42 +101,17 @@ def check_extended_unitary(
         before: the original circuit on ``n`` qubits.
         after: the lowered circuit on ``n`` or more qubits (extra
             lines appended above).
-        max_qubits: skip (return ``None``) when ``after`` is wider.
+        max_qubits: widest original register checked densely.
 
     Returns:
-        ``None`` when equivalent (or skipped), else a message.
+        The tier's :class:`~repro.verify.Verdict`.
     """
-    from ..core.unitary import circuit_unitary
-
-    if after.num_qubits < before.num_qubits:
-        return "pass narrowed the circuit"
-    if after.num_qubits > max_qubits:
-        return None
-    if before.has_measurements() or after.has_measurements():
-        return None
-    u_before = circuit_unitary(before)
-    u_after = circuit_unitary(after)
-    dim = 1 << before.num_qubits
-    if np.abs(u_after[dim:, :dim]).max(initial=0.0) > 1e-7:
-        return "lowered circuit leaks into the ancilla subspace"
-    return _compare_up_to_phase(u_before, u_after[:dim, :dim])
-
-
-def _compare_up_to_phase(u_before, u_after) -> Optional[str]:
-    """Compare two equal-shape matrices up to one global phase."""
-    # strip the global phase using the largest entry of the product
-    overlap = u_after.conj().T @ u_before
-    phase = overlap[np.unravel_index(np.argmax(np.abs(overlap)), overlap.shape)]
-    if abs(abs(phase) - 1.0) > 1e-7:
-        return "pass changed the circuit unitary"
-    if not np.allclose(u_before, phase * u_after, atol=1e-7):
-        return "pass changed the circuit unitary"
-    return None
+    return _checker(max_qubits).check_extended_unitary(before, after)
 
 
 def check_same_permutation(
     before: ReversibleCircuit, after: ReversibleCircuit
-) -> Optional[str]:
+) -> Verdict:
     """Check that a cascade rewrite preserved the permutation.
 
     Args:
@@ -147,19 +119,14 @@ def check_same_permutation(
         after: the cascade the pass produced.
 
     Returns:
-        ``None`` when both cascades realize the same permutation,
-        else a message.
+        The tier's :class:`~repro.verify.Verdict` (tier
+        ``permutation`` for exhaustive tables, ``probes`` for wide
+        cascades checked on sampled inputs).
     """
-    if before.num_lines != after.num_lines:
-        return "pass changed the line count"
-    if before.permutation() != after.permutation():
-        return "pass changed the realized permutation"
-    return None
+    return default_checker().check_same_permutation(before, after)
 
 
-def check_specification(
-    reversible: ReversibleCircuit, function
-) -> Optional[str]:
+def check_specification(reversible: ReversibleCircuit, function) -> Verdict:
     """Check a synthesized cascade against its Boolean specification.
 
     Args:
@@ -169,10 +136,7 @@ def check_specification(
             here because their line embedding is synthesis-specific.
 
     Returns:
-        ``None`` when the cascade matches (or the check is skipped),
-        else a message.
+        The tier's :class:`~repro.verify.Verdict` — an explicit skip
+        for non-permutation specifications.
     """
-    if isinstance(function, BitPermutation):
-        if reversible.permutation() != function:
-            return "synthesized cascade does not realize the permutation"
-    return None
+    return default_checker().check_specification(reversible, function)

@@ -1,0 +1,756 @@
+"""The tiered equivalence checker: cheapest sound check per pass.
+
+:class:`EquivalenceChecker` picks, for every kind of semantic check a
+pass needs, the cheapest tier that is sound for the circuits at hand
+and wraps the outcome in a :class:`~.verdict.Verdict`:
+
+1. **syntactic** — identical gate lists (free, exact);
+2. **permutation** — integer bit-simulation of reversible cascades
+   and classical (X/CNOT/Toffoli/SWAP) circuits over every basis
+   input (exact, ``O(2^n . gates)`` in the *data* width only);
+3. **stabilizer** — the composed-tableau identity test for Clifford
+   circuits, applied after stripping the common gate prefix/suffix
+   (exact at any width, polynomial);
+4. **dense** — full-unitary comparison, used as the small-width
+   oracle and for non-Clifford remainders whose joint support is
+   narrow enough to compact;
+5. **probes** — seeded random product-state fidelity probes, the
+   any-width fallback (sound rejection, probabilistic acceptance).
+
+Checks that no tier can run return an explicitly *skipped* verdict —
+never a silent pass — and ``mode="strict"`` lets callers escalate
+skips to hard failures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..boolean.permutation import BitPermutation
+from ..core.circuit import QuantumCircuit
+from ..synthesis.reversible import ReversibleCircuit
+from . import tiers
+from .verdict import Verdict
+
+#: Widest register for which dense unitary checks are attempted.
+DEFAULT_MAX_DENSE_QUBITS = 10
+
+#: Widest register for which statevector probes are attempted.
+DEFAULT_MAX_PROBE_QUBITS = 20
+
+#: Widest data register enumerated exhaustively (2^n inputs).
+DEFAULT_MAX_TABLE_LINES = 16
+
+#: Probe count of the randomized tier.
+DEFAULT_PROBES = 8
+
+#: Seed deriving the (reproducible) probe states.
+DEFAULT_SEED = 2018
+
+#: Verification modes ``as_checker`` accepts as strings.
+MODES = ("auto", "strict", "off")
+
+
+@dataclass(frozen=True)
+class EquivalenceChecker:
+    """Tier-selection policy plus the width/probe/seed configuration.
+
+    Attributes:
+        mode: ``"auto"`` (skips are reported but tolerated) or
+            ``"strict"`` (the pipeline escalates skipped checks to
+            :class:`~repro.pipeline.runner.VerificationError`).
+        max_dense_qubits: widest register for the dense-unitary tier.
+        max_probe_qubits: widest register for the randomized
+            statevector-probe tier.
+        max_table_lines: widest *data* register enumerated
+            exhaustively by the permutation tier (``2^n`` inputs).
+        probes: number of random probes of the randomized tier.
+        seed: seed deriving the probe states (fixed by default, so
+            verification is reproducible run to run).
+        atol: numeric tolerance of the dense and probe tiers.
+    """
+
+    mode: str = "auto"
+    max_dense_qubits: int = DEFAULT_MAX_DENSE_QUBITS
+    max_probe_qubits: int = DEFAULT_MAX_PROBE_QUBITS
+    max_table_lines: int = DEFAULT_MAX_TABLE_LINES
+    probes: int = DEFAULT_PROBES
+    seed: int = DEFAULT_SEED
+    atol: float = 1e-7
+
+    def __post_init__(self) -> None:
+        """Validate the mode name.
+
+        Raises:
+            ValueError: for modes other than ``auto``/``strict``.
+        """
+        if self.mode not in ("auto", "strict"):
+            raise ValueError(
+                f"unknown verification mode {self.mode!r}; use 'auto' "
+                "or 'strict' (or 'off' via as_checker)"
+            )
+
+    @property
+    def strict(self) -> bool:
+        """Whether skipped checks should fail the compilation."""
+        return self.mode == "strict"
+
+    def signature(self) -> Tuple:
+        """Return the configuration tuple for cache keying.
+
+        Returns:
+            A tuple identifying every field that affects verdicts.
+        """
+        return (
+            self.mode,
+            self.max_dense_qubits,
+            self.max_probe_qubits,
+            self.max_table_lines,
+            self.probes,
+            self.seed,
+            self.atol,
+        )
+
+    # ------------------------------------------------------------------
+    # cascade-level checks
+    # ------------------------------------------------------------------
+    def check_same_permutation(
+        self, before: ReversibleCircuit, after: ReversibleCircuit
+    ) -> Verdict:
+        """Check that a cascade rewrite preserved the permutation.
+
+        Enumerates every basis input up to ``max_table_lines`` data
+        lines (exact), and falls back to seeded random basis-input
+        probes at larger widths.
+
+        Args:
+            before: the cascade entering the pass.
+            after: the cascade the pass produced.
+
+        Returns:
+            The tier :class:`~.verdict.Verdict`.
+        """
+        started = time.perf_counter()
+        if before.num_lines != after.num_lines:
+            return Verdict.reject(
+                "permutation",
+                "pass changed the line count",
+                time.perf_counter() - started,
+            )
+        n = before.num_lines
+        if n <= self.max_table_lines:
+            for x in range(1 << n):
+                if before.apply(x) != after.apply(x):
+                    return Verdict.reject(
+                        "permutation",
+                        "pass changed the realized permutation "
+                        f"(input {x})",
+                        time.perf_counter() - started,
+                        checks=x + 1,
+                    )
+            return Verdict.accept(
+                "permutation", time.perf_counter() - started, checks=1 << n
+            )
+        rng = np.random.default_rng(self.seed)
+        count = max(1, self.probes)
+        for i in range(count):
+            x = int(rng.integers(0, 1 << n))
+            if before.apply(x) != after.apply(x):
+                return Verdict.reject(
+                    "probes",
+                    "pass changed the realized permutation "
+                    f"(probe input {x})",
+                    time.perf_counter() - started,
+                    checks=i + 1,
+                )
+        return Verdict.accept(
+            "probes",
+            time.perf_counter() - started,
+            detail=f"{count} random basis inputs agree",
+            checks=count,
+        )
+
+    def check_specification(
+        self, reversible: ReversibleCircuit, function
+    ) -> Verdict:
+        """Check a synthesized cascade against its specification.
+
+        Args:
+            reversible: the synthesized MCT cascade.
+            function: a :class:`~repro.boolean.permutation.BitPermutation`
+                is checked exactly on every input; other specification
+                kinds are skipped here (their line embedding is
+                synthesis-specific and checked by the synthesis pass
+                itself).
+
+        Returns:
+            The tier :class:`~.verdict.Verdict`.
+        """
+        started = time.perf_counter()
+        if not isinstance(function, BitPermutation):
+            return Verdict.skip(
+                "none",
+                f"specification kind {type(function).__name__} has a "
+                "synthesis-specific embedding; no generic check applies",
+                time.perf_counter() - started,
+            )
+        n = reversible.num_lines
+        if n > self.max_table_lines:
+            return Verdict.skip(
+                "permutation",
+                f"{n} lines exceed the {self.max_table_lines}-line "
+                "exhaustive-table limit",
+                time.perf_counter() - started,
+            )
+        for x in range(1 << n):
+            if reversible.apply(x) != function(x):
+                return Verdict.reject(
+                    "permutation",
+                    "synthesized cascade does not realize the "
+                    f"permutation (input {x})",
+                    time.perf_counter() - started,
+                    checks=x + 1,
+                )
+        return Verdict.accept(
+            "permutation", time.perf_counter() - started, checks=1 << n
+        )
+
+    # ------------------------------------------------------------------
+    # circuit-level checks
+    # ------------------------------------------------------------------
+    def check_same_unitary(
+        self, before: QuantumCircuit, after: QuantumCircuit
+    ) -> Verdict:
+        """Check two circuits for unitary equivalence up to phase.
+
+        Tier order: syntactic identity, stabilizer tableau on the
+        stripped remainders (exact, any width), dense comparison on
+        the remainders' joint support or the full register (exact,
+        small widths), randomized fidelity probes (any width up to
+        ``max_probe_qubits``), else an explicit skip.
+
+        Args:
+            before: the circuit entering the pass.
+            after: the circuit the pass produced.
+
+        Returns:
+            The tier :class:`~.verdict.Verdict`.
+        """
+        started = time.perf_counter()
+        if before.num_qubits != after.num_qubits:
+            return Verdict.reject(
+                "dense",
+                "pass changed the circuit width",
+                time.perf_counter() - started,
+            )
+        n = before.num_qubits
+        gates_before = tiers.semantic_gates(before)
+        gates_after = tiers.semantic_gates(after)
+        if gates_before == gates_after:
+            return Verdict.accept(
+                "syntactic",
+                time.perf_counter() - started,
+                detail="gate lists identical",
+            )
+        if before.has_measurements() or after.has_measurements():
+            return Verdict.skip(
+                "none",
+                "measurement circuits have no unitary check",
+                time.perf_counter() - started,
+            )
+        rest_before, rest_after = tiers.strip_common_gates(
+            gates_before, gates_after
+        )
+        tab_before = tiers.tableau_gates(rest_before)
+        tab_after = tiers.tableau_gates(rest_after)
+        if tab_before is not None and tab_after is not None:
+            failure = tiers.clifford_equivalence_failure(
+                tab_before, tab_after, n
+            )
+            seconds = time.perf_counter() - started
+            if failure is not None:
+                return Verdict.reject("stabilizer", failure, seconds)
+            return Verdict.accept(
+                "stabilizer",
+                seconds,
+                detail="composed tableau is the identity",
+            )
+        support = tiers.gate_support(rest_before + rest_after)
+        if 0 < len(support) <= self.max_dense_qubits and len(support) < n:
+            failure = self._dense_failure(
+                tiers.compact_circuit(rest_before, support),
+                tiers.compact_circuit(rest_after, support),
+            )
+            seconds = time.perf_counter() - started
+            if failure is not None:
+                return Verdict.reject("dense", failure, seconds)
+            return Verdict.accept(
+                "dense",
+                seconds,
+                detail=f"rewritten region on {len(support)} qubits",
+            )
+        if n <= self.max_dense_qubits:
+            failure = self._dense_failure(before, after)
+            seconds = time.perf_counter() - started
+            if failure is not None:
+                return Verdict.reject("dense", failure, seconds)
+            return Verdict.accept("dense", seconds)
+        return self._probe_same_unitary(before, after, started)
+
+    def _probe_same_unitary(
+        self, before: QuantumCircuit, after: QuantumCircuit, started: float
+    ) -> Verdict:
+        """Run the randomized fidelity-probe tier for equal widths."""
+        n = before.num_qubits
+        if n > self.max_probe_qubits:
+            return Verdict.skip(
+                "probes",
+                f"width {n} exceeds the {self.max_probe_qubits}-qubit "
+                "probe limit",
+                time.perf_counter() - started,
+            )
+        rng = np.random.default_rng(self.seed)
+        count = max(1, self.probes)
+        for i in range(count):
+            probe = tiers.random_product_state(n, rng)
+            out_before = probe.copy().evolve(before)
+            out_after = probe.copy().evolve(after)
+            overlap = tiers.overlap_magnitude(out_before, out_after)
+            if abs(overlap - 1.0) > self.atol:
+                return Verdict.reject(
+                    "probes",
+                    f"probe {i} distinguishes the circuits "
+                    f"(|overlap| = {overlap:.6f})",
+                    time.perf_counter() - started,
+                    checks=i + 1,
+                )
+        return Verdict.accept(
+            "probes",
+            time.perf_counter() - started,
+            detail=f"{count} random product states agree",
+            checks=count,
+        )
+
+    def check_extended_unitary(
+        self, before: QuantumCircuit, after: QuantumCircuit
+    ) -> Verdict:
+        """Check a lowering that may have appended clean ancillae.
+
+        The widened circuit must act as ``|psi>|0> -> (U|psi>)|0>``
+        up to one global phase, with no leakage into the ancilla
+        subspace.  Equal widths delegate to
+        :meth:`check_same_unitary`; wider circuits use the dense
+        block check at small widths and ancilla-aware fidelity probes
+        otherwise.
+
+        Args:
+            before: the original circuit on ``n`` qubits.
+            after: the lowered circuit on ``n`` or more qubits.
+
+        Returns:
+            The tier :class:`~.verdict.Verdict`.
+        """
+        started = time.perf_counter()
+        if after.num_qubits < before.num_qubits:
+            return Verdict.reject(
+                "dense",
+                "pass narrowed the circuit",
+                time.perf_counter() - started,
+            )
+        if after.num_qubits == before.num_qubits:
+            return self.check_same_unitary(before, after)
+        if before.has_measurements() or after.has_measurements():
+            return Verdict.skip(
+                "none",
+                "measurement circuits have no unitary check",
+                time.perf_counter() - started,
+            )
+        w = after.num_qubits
+        if w <= self.max_dense_qubits + 1:
+            failure = self._dense_extended_failure(before, after)
+            seconds = time.perf_counter() - started
+            if failure is not None:
+                return Verdict.reject("dense", failure, seconds)
+            return Verdict.accept("dense", seconds)
+        if w > self.max_probe_qubits:
+            return Verdict.skip(
+                "probes",
+                f"width {w} exceeds the {self.max_probe_qubits}-qubit "
+                "probe limit",
+                time.perf_counter() - started,
+            )
+        rng = np.random.default_rng(self.seed)
+        count = max(1, self.probes)
+        for i in range(count):
+            probe = tiers.random_product_state(before.num_qubits, rng)
+            expected = tiers.widen_state(probe.copy().evolve(before), w)
+            actual = tiers.widen_state(probe, w).evolve(after)
+            overlap = tiers.overlap_magnitude(expected, actual)
+            if abs(overlap - 1.0) > self.atol:
+                return Verdict.reject(
+                    "probes",
+                    f"probe {i} distinguishes the lowered circuit "
+                    f"(|overlap| = {overlap:.6f}; a low overlap also "
+                    "witnesses ancilla leakage)",
+                    time.perf_counter() - started,
+                    checks=i + 1,
+                )
+        return Verdict.accept(
+            "probes",
+            time.perf_counter() - started,
+            detail=f"{count} ancilla-aware probes agree",
+            checks=count,
+        )
+
+    def check_mapped_circuit(
+        self,
+        quantum: QuantumCircuit,
+        reversible: ReversibleCircuit,
+        in_map: Optional[Sequence[int]] = None,
+        out_map: Optional[Sequence[int]] = None,
+    ) -> Verdict:
+        """Check a mapped circuit against its reversible specification.
+
+        The mapped circuit may use extra (clean) ancilla wires; the
+        obligation is ``|x>|0> -> e^{i phi(x)}|P(x)>|0>`` for every
+        data input ``x``, with ``P`` the cascade's permutation.
+        Classical (Toffoli-level) circuits are checked exactly by the
+        permutation tier at any wire count; Clifford+T mappings use
+        the dense column check at small widths and seeded basis-input
+        probes up to ``max_probe_qubits``.
+
+        Args:
+            quantum: the mapped (possibly Clifford+T) circuit.
+            reversible: the MCT cascade it must implement.
+            in_map: wire of data bit ``i`` at the circuit input
+                (identity when ``None``) — routing layouts thread
+                their initial layout here.
+            out_map: wire of data bit ``i`` at the circuit output
+                (defaults to ``in_map``).
+
+        Returns:
+            The tier :class:`~.verdict.Verdict`.
+        """
+        started = time.perf_counter()
+        n = reversible.num_lines
+        w = quantum.num_qubits
+        in_map = tuple(in_map) if in_map is not None else tuple(range(n))
+        out_map = tuple(out_map) if out_map is not None else in_map
+        if len(in_map) != n or len(out_map) != n:
+            return Verdict.reject(
+                "permutation",
+                "layout maps do not cover the data register",
+                time.perf_counter() - started,
+            )
+        if w < n or any(p >= w for p in in_map) or any(
+            p >= w for p in out_map
+        ):
+            return Verdict.reject(
+                "permutation",
+                "mapped circuit is narrower than the cascade",
+                time.perf_counter() - started,
+            )
+        if quantum.has_measurements():
+            return Verdict.skip(
+                "none",
+                "measurement circuits have no unitary check",
+                time.perf_counter() - started,
+            )
+        if n > self.max_table_lines:
+            return Verdict.skip(
+                "permutation",
+                f"{n} data lines exceed the {self.max_table_lines}-line "
+                "exhaustive-table limit",
+                time.perf_counter() - started,
+            )
+        if tiers.is_classical(quantum):
+            for x in range(1 << n):
+                failure = self._classical_column_failure(
+                    quantum, reversible, x, in_map, out_map
+                )
+                if failure is not None:
+                    return Verdict.reject(
+                        "permutation",
+                        failure,
+                        time.perf_counter() - started,
+                        checks=x + 1,
+                    )
+            return Verdict.accept(
+                "permutation", time.perf_counter() - started, checks=1 << n
+            )
+        if w <= self.max_dense_qubits + 1:
+            failure = self._dense_mapped_failure(
+                quantum, reversible, in_map, out_map
+            )
+            seconds = time.perf_counter() - started
+            if failure is not None:
+                return Verdict.reject("dense", failure, seconds)
+            return Verdict.accept("dense", seconds, checks=1 << n)
+        if w > self.max_probe_qubits:
+            return Verdict.skip(
+                "probes",
+                f"width {w} exceeds the {self.max_probe_qubits}-qubit "
+                "probe limit",
+                time.perf_counter() - started,
+            )
+        rng = np.random.default_rng(self.seed)
+        count = min(max(1, self.probes), 1 << n)
+        inputs = sorted(
+            int(x)
+            for x in rng.choice(1 << n, size=count, replace=False)
+        )
+        from ..simulator.statevector import Statevector
+
+        for i, x in enumerate(inputs):
+            state = Statevector.from_basis_state(w, self._embed(x, in_map))
+            state.evolve(quantum)
+            expected = self._embed(reversible.apply(x), out_map)
+            prob = float(abs(state.data[expected]) ** 2)
+            if abs(prob - 1.0) > self.atol:
+                return Verdict.reject(
+                    "probes",
+                    f"basis input {x} does not map to the cascade's "
+                    f"output (probability {prob:.6f})",
+                    time.perf_counter() - started,
+                    checks=i + 1,
+                )
+        return Verdict.accept(
+            "probes",
+            time.perf_counter() - started,
+            detail=f"{len(inputs)} sampled basis inputs agree",
+            checks=len(inputs),
+        )
+
+    def check_routing(self, original: QuantumCircuit, routing) -> Verdict:
+        """Check a routed circuit against the pre-routing original.
+
+        Args:
+            original: the circuit entering the routing pass.
+            routing: the
+                :class:`~repro.mapping.routing.RoutingResult` —
+                routed circuit, initial layout and the wire
+                permutation its SWAPs accumulated.
+
+        Returns:
+            The tier :class:`~.verdict.Verdict`.
+        """
+        from ..mapping.routing import verify_routing
+
+        started = time.perf_counter()
+        if routing is None:
+            return Verdict.reject(
+                "dense",
+                "routing produced no result",
+                time.perf_counter() - started,
+            )
+        w = routing.circuit.num_qubits
+        if w <= self.max_dense_qubits:
+            ok = verify_routing(original, routing, atol=self.atol)
+            seconds = time.perf_counter() - started
+            if not ok:
+                return Verdict.reject(
+                    "dense",
+                    "routed circuit is not equivalent under its layout",
+                    seconds,
+                )
+            return Verdict.accept("dense", seconds)
+        if w > self.max_probe_qubits:
+            return Verdict.skip(
+                "probes",
+                f"width {w} exceeds the {self.max_probe_qubits}-qubit "
+                "probe limit",
+                time.perf_counter() - started,
+            )
+        mapping = {
+            q: routing.initial_layout[q] for q in range(original.num_qubits)
+        }
+        lifted = QuantumCircuit(w)
+        for gate in original.gates:
+            if gate.is_measurement or gate.name == "barrier":
+                continue
+            lifted.append(gate.remap(mapping))
+        routed = _strip_measurements(routing.circuit)
+        rng = np.random.default_rng(self.seed)
+        count = max(1, self.probes)
+        for i in range(count):
+            probe = tiers.random_product_state(w, rng)
+            expected = tiers.permute_wires(
+                probe.copy().evolve(lifted), routing.position_of
+            )
+            actual = probe.copy().evolve(routed)
+            overlap = tiers.overlap_magnitude(expected, actual)
+            if abs(overlap - 1.0) > self.atol:
+                return Verdict.reject(
+                    "probes",
+                    f"probe {i} distinguishes the routed circuit under "
+                    f"its layout (|overlap| = {overlap:.6f})",
+                    time.perf_counter() - started,
+                    checks=i + 1,
+                )
+        return Verdict.accept(
+            "probes",
+            time.perf_counter() - started,
+            detail=f"{count} layout-aware probes agree",
+            checks=count,
+        )
+
+    def no_check(self, reason: str) -> Verdict:
+        """Return an explicit skipped verdict for an uncheckable pass.
+
+        Args:
+            reason: why no tier applies to this pass.
+
+        Returns:
+            A ``skipped`` :class:`~.verdict.Verdict` of tier ``none``.
+        """
+        return Verdict.skip("none", reason)
+
+    # ------------------------------------------------------------------
+    # dense primitives
+    # ------------------------------------------------------------------
+    def _dense_failure(
+        self, before: QuantumCircuit, after: QuantumCircuit
+    ) -> Optional[str]:
+        """Compare two equal-width circuits' dense unitaries."""
+        from ..core.unitary import circuit_unitary
+
+        u_before = circuit_unitary(before)
+        u_after = circuit_unitary(after)
+        return _phase_compare_failure(u_before, u_after, self.atol)
+
+    def _dense_extended_failure(
+        self, before: QuantumCircuit, after: QuantumCircuit
+    ) -> Optional[str]:
+        """Dense block check of an ancilla-widened lowering."""
+        from ..core.unitary import circuit_unitary
+
+        u_before = circuit_unitary(before)
+        u_after = circuit_unitary(after)
+        dim = 1 << before.num_qubits
+        if np.abs(u_after[dim:, :dim]).max(initial=0.0) > self.atol:
+            return "lowered circuit leaks into the ancilla subspace"
+        return _phase_compare_failure(
+            u_before, u_after[:dim, :dim], self.atol
+        )
+
+    def _dense_mapped_failure(
+        self,
+        quantum: QuantumCircuit,
+        reversible: ReversibleCircuit,
+        in_map: Tuple[int, ...],
+        out_map: Tuple[int, ...],
+    ) -> Optional[str]:
+        """Dense per-column check of a mapped circuit."""
+        from ..core.unitary import circuit_unitary
+
+        unitary = circuit_unitary(quantum)
+        n = reversible.num_lines
+        for x in range(1 << n):
+            column = unitary[:, self._embed(x, in_map)]
+            index = int(np.argmax(np.abs(column)))
+            if (
+                abs(abs(column[index]) - 1.0) > self.atol
+                or np.abs(column).sum() - abs(column[index]) > self.atol
+                or index != self._embed(reversible.apply(x), out_map)
+            ):
+                return f"mismatch at input {x}"
+        return None
+
+    def _classical_column_failure(
+        self,
+        quantum: QuantumCircuit,
+        reversible: ReversibleCircuit,
+        x: int,
+        in_map: Tuple[int, ...],
+        out_map: Tuple[int, ...],
+    ) -> Optional[str]:
+        """Bit-simulate one basis input through a classical circuit."""
+        result = tiers.apply_classical_gates(quantum, self._embed(x, in_map))
+        if result != self._embed(reversible.apply(x), out_map):
+            return f"mismatch at input {x}"
+        return None
+
+    @staticmethod
+    def _embed(value: int, wire_map: Tuple[int, ...]) -> int:
+        """Scatter data bits of ``value`` onto their mapped wires."""
+        out = 0
+        for bit, wire in enumerate(wire_map):
+            out |= ((value >> bit) & 1) << wire
+        return out
+
+
+def _phase_compare_failure(u_before, u_after, atol: float) -> Optional[str]:
+    """Compare two equal-shape matrices up to one global phase."""
+    overlap = u_after.conj().T @ u_before
+    phase = overlap[np.unravel_index(np.argmax(np.abs(overlap)), overlap.shape)]
+    if abs(abs(phase) - 1.0) > atol:
+        return "pass changed the circuit unitary"
+    if not np.allclose(u_before, phase * u_after, atol=atol):
+        return "pass changed the circuit unitary"
+    return None
+
+
+def _strip_measurements(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Return the circuit's unitary gates (measurements/barriers removed)."""
+    out = QuantumCircuit(circuit.num_qubits)
+    for gate in circuit.gates:
+        if gate.is_measurement or gate.name in ("reset", "barrier"):
+            continue
+        out.append(gate)
+    return out
+
+
+# ----------------------------------------------------------------------
+# spec resolution
+# ----------------------------------------------------------------------
+_DEFAULT_CHECKER = EquivalenceChecker()
+
+
+def default_checker() -> EquivalenceChecker:
+    """Return the shared default (``auto`` mode) checker instance."""
+    return _DEFAULT_CHECKER
+
+
+def as_checker(
+    spec: Union[EquivalenceChecker, str, bool, None]
+) -> Optional[EquivalenceChecker]:
+    """Resolve a ``verify=`` argument to a checker (or ``None``).
+
+    Args:
+        spec: ``None``/``False``/``"off"`` disable verification;
+            ``True``/``"auto"`` select the default tiered checker;
+            ``"strict"`` additionally escalates skipped checks to
+            failures; an :class:`EquivalenceChecker` passes through.
+
+    Returns:
+        The resolved checker, or ``None`` when verification is off.
+
+    Raises:
+        ValueError: for unrecognized mode strings.
+    """
+    if spec is None or spec is False:
+        return None
+    if spec is True:
+        return _DEFAULT_CHECKER
+    if isinstance(spec, EquivalenceChecker):
+        return spec
+    if isinstance(spec, str):
+        mode = spec.lower()
+        if mode == "off":
+            return None
+        if mode == "auto":
+            return _DEFAULT_CHECKER
+        if mode == "strict":
+            return replace(_DEFAULT_CHECKER, mode="strict")
+        raise ValueError(
+            f"unknown verification mode {spec!r}; one of "
+            f"{', '.join(MODES)} (or an EquivalenceChecker)"
+        )
+    raise ValueError(
+        f"verify= accepts a bool, {', '.join(MODES)!s}, or an "
+        f"EquivalenceChecker, not {type(spec).__name__}"
+    )

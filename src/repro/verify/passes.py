@@ -1,0 +1,136 @@
+"""The first-class verification pass.
+
+:class:`VerifyPass` turns end-to-end verification into an ordinary
+pipeline stage: it reads whatever relation the flow store currently
+holds — quantum circuit vs. reversible cascade (layout-aware after
+routing), cascade vs. Boolean specification — runs the cheapest sound
+tier via the :class:`~.checker.EquivalenceChecker`, stores the
+:class:`~.verdict.Verdict` under ``artifacts['verification']``, and
+fails the flow on a rejection.  Because it is a normal
+:class:`~repro.pipeline.passes.Pass`, it composes with result caching
+(the checker configuration participates in the cache key) and with the
+resilience policies like any other stage.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple, Union
+
+from ..pipeline.passes import Pass
+from ..pipeline.state import FlowState
+from .checker import EquivalenceChecker, as_checker, default_checker
+from .verdict import Verdict
+
+
+class VerifyPass(Pass):
+    """Verify the flow store's strongest available relation.
+
+    Args:
+        checker: an :class:`~.checker.EquivalenceChecker`, a mode
+            string (``"auto"``/``"strict"``), ``True``, or ``None``
+            for the default tiered checker.
+    """
+
+    name = "verify"
+    stage = "verification"
+    reads = ("function", "reversible", "quantum", "routing")
+    writes = ("artifacts",)
+
+    def __init__(
+        self,
+        checker: Union[EquivalenceChecker, str, bool, None] = None,
+    ) -> None:
+        """Resolve and store the checker configuration."""
+        resolved = as_checker(checker if checker is not None else "auto")
+        self.checker = resolved if resolved is not None else default_checker()
+
+    def signature(self) -> Tuple[Any, ...]:
+        """Return the checker configuration as the cache identity."""
+        return self.checker.signature()
+
+    def run(self, state: FlowState) -> FlowState:
+        """Verify the store and record the verdict as an artifact.
+
+        Args:
+            state: the incoming flow store.
+
+        Returns:
+            A copy of the store with the verdict under
+            ``artifacts['verification']``.
+
+        Raises:
+            repro.pipeline.VerificationError: when the check rejects,
+                or (in strict mode) when no tier could run it.
+        """
+        verdict = self._store_verdict(state)
+        if verdict.failed or (verdict.skipped and self.checker.strict):
+            from ..pipeline.runner import VerificationError
+
+            raise VerificationError(
+                f"pass {self.name!r} "
+                + (
+                    f"failed verification (tier {verdict.tier})"
+                    if verdict.failed
+                    else "could not verify the store under strict mode "
+                    f"(tier {verdict.tier})"
+                )
+                + f": {verdict.detail}"
+            )
+        out = state.copy()
+        out.artifacts["verification"] = verdict
+        return out
+
+    def check(self, checker, before: FlowState, after: FlowState) -> Verdict:
+        """Report the verdict this pass computed (no second check).
+
+        Args:
+            checker: the pipeline's checker (unused — this pass runs
+                its own configured checker inside :meth:`run`).
+            before: store content entering the pass.
+            after: store content the pass produced.
+
+        Returns:
+            The :class:`~.verdict.Verdict` stored by :meth:`run`, so
+            the pass record names the tier that actually ran.
+        """
+        verdict = after.artifacts.get("verification")
+        if isinstance(verdict, Verdict):
+            return verdict
+        return self._store_verdict(before)
+
+    def statistics(
+        self, before: FlowState, after: FlowState
+    ) -> Dict[str, Any]:
+        """Report the verification tier and status for the record."""
+        verdict = after.artifacts.get("verification")
+        if not isinstance(verdict, Verdict):
+            return {}
+        return {"tier": verdict.tier, "verdict": verdict.status}
+
+    def _store_verdict(self, state: FlowState) -> Verdict:
+        """Pick and run the strongest check the store supports."""
+        checker = self.checker
+        if state.quantum is not None and state.reversible is not None:
+            if state.routing is not None:
+                n = state.reversible.num_lines
+                layout = state.routing.initial_layout
+                if len(layout) < n:
+                    return checker.no_check(
+                        "routing layout does not cover the cascade's "
+                        "data register"
+                    )
+                in_map = [layout[i] for i in range(n)]
+                out_map = [state.routing.position_of[p] for p in in_map]
+                return checker.check_mapped_circuit(
+                    state.quantum, state.reversible, in_map, out_map
+                )
+            return checker.check_mapped_circuit(
+                state.quantum, state.reversible
+            )
+        if state.reversible is not None and state.function is not None:
+            return checker.check_specification(
+                state.reversible, state.function
+            )
+        return checker.no_check(
+            "store holds no specification/implementation pair to compare"
+        )

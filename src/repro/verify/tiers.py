@@ -1,0 +1,418 @@
+"""Tier primitives behind the tiered equivalence checker.
+
+Each helper here implements one *mechanism* — gate-list stripping,
+classical bit-level simulation of permutation circuits, the composed
+stabilizer-tableau identity test, random product-state probes — and
+stays policy-free: the :class:`~.checker.EquivalenceChecker` decides
+which mechanism is the cheapest sound one for a given pair of
+circuits and wraps the outcome in a :class:`~.verdict.Verdict`.
+
+Soundness notes (also in docs/ARCHITECTURE.md):
+
+* stripping a common gate prefix/suffix preserves equivalence up to
+  global phase exactly (``U_p A U_s ~ U_p B U_s  iff  A ~ B``);
+* two Clifford circuits are equal up to global phase iff the composed
+  circuit ``A ; B^-1`` conjugates every ``X_i`` and ``Z_i`` to itself
+  with a ``+`` sign — the tableau identity test (exact, polynomial);
+* a randomized probe rejecting is always sound (a fidelity below one
+  witnesses a semantic difference); a probe *accepting* is
+  probabilistic, with escape probability falling exponentially in the
+  probe count.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.circuit import QuantumCircuit
+from ..core.gates import Gate
+from ..simulator.stabilizer import StabilizerError, StabilizerState
+from ..simulator.statevector import Statevector
+
+#: Gate names the stabilizer tableau engine executes directly.
+TABLEAU_GATES = frozenset(
+    ("h", "s", "sdg", "x", "y", "z", "sx", "sxdg", "cx", "cy", "cz", "swap")
+)
+
+#: Gate names acting as classical bit permutations (the reversible
+#: vocabulary), executable by integer bit-simulation at any width.
+CLASSICAL_GATES = frozenset(("x", "cx", "ccx", "mcx", "swap", "cswap"))
+
+#: Gate names that are semantic no-ops for equivalence checking.
+NOOP_GATES = frozenset(("id", "barrier"))
+
+
+def semantic_gates(circuit: QuantumCircuit) -> List[Gate]:
+    """Return the circuit's gates with identity no-ops removed.
+
+    Args:
+        circuit: the circuit to normalize.
+
+    Returns:
+        The gate list without ``id``/``barrier`` entries.
+    """
+    return [g for g in circuit.gates if g.name not in NOOP_GATES]
+
+
+def strip_common_gates(
+    before: Sequence[Gate], after: Sequence[Gate]
+) -> Tuple[List[Gate], List[Gate]]:
+    """Strip the longest common gate prefix and suffix.
+
+    Equivalence up to global phase is preserved exactly: a shared
+    unitary prefix or suffix cancels on both sides.  Optimization
+    passes usually rewrite a region and keep the rest, so the
+    remainders are often far smaller (and more often pure Clifford or
+    narrow-support) than the full circuits.
+
+    Args:
+        before: gate list entering the pass (no-ops removed).
+        after: gate list the pass produced (no-ops removed).
+
+    Returns:
+        ``(before_rest, after_rest)`` — the unmatched middles.
+    """
+    lo = 0
+    hi = min(len(before), len(after))
+    while lo < hi and before[lo] == after[lo]:
+        lo += 1
+    tail = 0
+    while (
+        tail < hi - lo
+        and before[len(before) - 1 - tail] == after[len(after) - 1 - tail]
+    ):
+        tail += 1
+    return (
+        list(before[lo:len(before) - tail]),
+        list(after[lo:len(after) - tail]),
+    )
+
+
+def gate_support(gates: Iterable[Gate]) -> Tuple[int, ...]:
+    """Return the sorted set of qubits the gates act on.
+
+    Args:
+        gates: the gates to inspect.
+
+    Returns:
+        Sorted tuple of touched qubit indices.
+    """
+    touched = set()
+    for gate in gates:
+        touched.update(gate.targets)
+        touched.update(gate.controls)
+    return tuple(sorted(touched))
+
+
+def compact_circuit(
+    gates: Sequence[Gate], support: Sequence[int]
+) -> QuantumCircuit:
+    """Re-index gates onto a compact register covering ``support``.
+
+    Gates acting as identity outside ``support`` are unchanged by the
+    re-indexing, so two compacted gate lists are equivalent up to
+    global phase iff the originals are.
+
+    Args:
+        gates: gates whose qubits all lie in ``support``.
+        support: sorted qubit indices to compact onto ``0..k-1``.
+
+    Returns:
+        A ``len(support)``-qubit circuit with re-indexed gates.
+    """
+    index = {qubit: i for i, qubit in enumerate(support)}
+    compact = QuantumCircuit(len(support))
+    for gate in gates:
+        compact.append(
+            Gate(
+                name=gate.name,
+                targets=tuple(index[q] for q in gate.targets),
+                controls=tuple(index[q] for q in gate.controls),
+                params=gate.params,
+                cbits=gate.cbits,
+            )
+        )
+    return compact
+
+
+# ----------------------------------------------------------------------
+# stabilizer tier
+# ----------------------------------------------------------------------
+def as_tableau_gate(gate: Gate) -> Optional[Gate]:
+    """Translate a gate into the tableau vocabulary, if possible.
+
+    Diagonal rotations at multiples of ``pi/2`` are Clifford but not
+    native tableau gates; they translate exactly (up to global phase)
+    to S/Z/S'.  Gates already in :data:`TABLEAU_GATES` pass through.
+
+    Args:
+        gate: the gate to translate.
+
+    Returns:
+        An equivalent tableau-vocabulary gate, or ``None`` when the
+        gate is not Clifford (or not translatable).
+    """
+    name = gate.name
+    if name in TABLEAU_GATES:
+        return gate
+    if name in ("rz", "p") and gate.params:
+        quarter = _quarter_turns(gate.params[0])
+        if quarter is None:
+            return None
+        replacement = (None, "s", "z", "sdg")[quarter]
+        if replacement is None:
+            return None  # caller treats a full turn as droppable
+        return Gate(name=replacement, targets=gate.targets)
+    if name == "cp" and gate.params:
+        if _quarter_turns(gate.params[0]) == 2:
+            return Gate(
+                name="cz", targets=gate.targets, controls=gate.controls
+            )
+    return None
+
+
+def _quarter_turns(angle: float) -> Optional[int]:
+    """Return ``angle / (pi/2) mod 4`` when it is a near-exact integer."""
+    turns = angle / (math.pi / 2)
+    nearest = round(turns)
+    if abs(turns - nearest) > 1e-9:
+        return None
+    return nearest % 4
+
+
+def tableau_gates(gates: Sequence[Gate]) -> Optional[List[Gate]]:
+    """Translate a gate list into the tableau vocabulary.
+
+    Args:
+        gates: the gates to translate (no-ops already removed).
+
+    Returns:
+        The translated list, or ``None`` when any gate falls outside
+        the Clifford group the tableau engine executes.
+    """
+    out: List[Gate] = []
+    for gate in gates:
+        if (
+            gate.name in ("rz", "p")
+            and gate.params
+            and _quarter_turns(gate.params[0]) == 0
+        ):
+            continue  # a full turn is the identity up to phase
+        translated = as_tableau_gate(gate)
+        if translated is None:
+            return None
+        out.append(translated)
+    return out
+
+
+def tableau_identity_failure(
+    gates: Sequence[Gate], num_qubits: int
+) -> Optional[str]:
+    """Check that a Clifford gate sequence composes to a phase.
+
+    Applies the gates to a fresh CHP tableau and checks that every
+    destabilizer row is still ``+X_i`` and every stabilizer row still
+    ``+Z_i`` — i.e. the sequence conjugates every Pauli generator to
+    itself with a positive sign, which holds iff its unitary is a
+    global phase times the identity.
+
+    Args:
+        gates: tableau-vocabulary gates of the composed circuit.
+        num_qubits: register width.
+
+    Returns:
+        ``None`` when the sequence is a global phase, else a message
+        naming the first generator that moved.
+    """
+    state = StabilizerState(num_qubits)
+    try:
+        for gate in gates:
+            state.apply_gate(gate)
+    except StabilizerError as exc:  # pragma: no cover - guarded upstream
+        return str(exc)
+    n = num_qubits
+    identity = StabilizerState(n)
+    for i in range(n):
+        if (
+            state.r[i] != 0
+            or not np.array_equal(state.x[i], identity.x[i])
+            or not np.array_equal(state.z[i], identity.z[i])
+        ):
+            return f"composed circuit moves the Pauli generator X_{i}"
+    for i in range(n):
+        row = n + i
+        if (
+            state.r[row] != 0
+            or not np.array_equal(state.x[row], identity.x[row])
+            or not np.array_equal(state.z[row], identity.z[row])
+        ):
+            return f"composed circuit moves the Pauli generator Z_{i}"
+    return None
+
+
+def clifford_equivalence_failure(
+    before: Sequence[Gate], after: Sequence[Gate], num_qubits: int
+) -> Optional[str]:
+    """Decide Clifford equivalence up to global phase, exactly.
+
+    Composes ``before ; after^-1`` and runs the tableau identity
+    test.  Polynomial in width and gate count — sound and complete
+    for Clifford circuits at any width.
+
+    Args:
+        before: tableau-vocabulary gates entering the pass.
+        after: tableau-vocabulary gates the pass produced.
+        num_qubits: register width of both circuits.
+
+    Returns:
+        ``None`` when equivalent up to global phase, else a message.
+    """
+    composed = list(before)
+    for gate in reversed(after):
+        composed.append(gate.dagger())
+    return tableau_identity_failure(composed, num_qubits)
+
+
+# ----------------------------------------------------------------------
+# permutation tier
+# ----------------------------------------------------------------------
+def is_classical(circuit: QuantumCircuit) -> bool:
+    """Whether every gate acts as a classical bit permutation.
+
+    Args:
+        circuit: the circuit to inspect.
+
+    Returns:
+        True when the circuit is X/CX/Toffoli/SWAP-only (ignoring
+        no-ops), so integer bit-simulation reproduces it exactly.
+    """
+    return all(
+        g.name in CLASSICAL_GATES or g.name in NOOP_GATES
+        for g in circuit.gates
+    )
+
+
+def apply_classical_gates(circuit: QuantumCircuit, value: int) -> int:
+    """Propagate a basis state through a classical (permutation) circuit.
+
+    Args:
+        circuit: an X/CX/Toffoli/SWAP-only circuit.
+        value: input basis state as an integer (qubit 0 = LSB).
+
+    Returns:
+        The output basis state integer.
+
+    Raises:
+        ValueError: when a gate is not a classical permutation gate.
+    """
+    for gate in circuit.gates:
+        name = gate.name
+        if name in NOOP_GATES:
+            continue
+        if name not in CLASSICAL_GATES:
+            raise ValueError(f"gate {name!r} is not a classical gate")
+        if name == "swap" or name == "cswap":
+            if gate.controls and not _bits_set(value, gate.controls):
+                continue
+            a, b = gate.targets
+            bit_a = (value >> a) & 1
+            bit_b = (value >> b) & 1
+            if bit_a != bit_b:
+                value ^= (1 << a) | (1 << b)
+            continue
+        # x / cx / ccx / mcx: flip the target when all controls are set
+        if _bits_set(value, gate.controls):
+            value ^= 1 << gate.targets[0]
+    return value
+
+
+def _bits_set(value: int, positions: Sequence[int]) -> bool:
+    """Whether every bit of ``value`` at ``positions`` is one."""
+    return all((value >> p) & 1 for p in positions)
+
+
+# ----------------------------------------------------------------------
+# randomized probe tier
+# ----------------------------------------------------------------------
+def random_product_state(
+    num_qubits: int, rng: np.random.Generator
+) -> Statevector:
+    """Draw a random product state with random relative phases.
+
+    Each qubit gets independent Bloch angles, so the state is (almost
+    surely) not an eigenstate of any non-phase unitary — in
+    particular diagonal-phase differences (a stray Z or S) shift the
+    probe's fidelity away from one.
+
+    Args:
+        num_qubits: register width.
+        rng: seeded generator (derandomized probes are reproducible).
+
+    Returns:
+        The probe :class:`~repro.simulator.statevector.Statevector`.
+    """
+    data = np.array([1.0], dtype=complex)
+    for _ in range(num_qubits):
+        theta = rng.uniform(0.0, math.pi)
+        phi = rng.uniform(0.0, 2.0 * math.pi)
+        qubit = np.array(
+            [math.cos(theta / 2.0),
+             complex(math.cos(phi), math.sin(phi)) * math.sin(theta / 2.0)],
+            dtype=complex,
+        )
+        data = np.kron(qubit, data)
+    return Statevector(num_qubits, data)
+
+
+def overlap_magnitude(a: Statevector, b: Statevector) -> float:
+    """Return ``|<a|b>|`` — 1.0 iff equal up to a global phase.
+
+    Args:
+        a: first normalized state.
+        b: second normalized state.
+
+    Returns:
+        The overlap magnitude in ``[0, 1]``.
+    """
+    return float(abs(np.vdot(a.data, b.data)))
+
+
+def widen_state(state: Statevector, num_qubits: int) -> Statevector:
+    """Embed a state into a wider register with clean high ancillae.
+
+    Args:
+        state: the state on the low ``n`` qubits.
+        num_qubits: total width (``>= state.num_qubits``).
+
+    Returns:
+        The state ``|psi>|0...0>`` on ``num_qubits`` qubits.
+    """
+    data = np.zeros(1 << num_qubits, dtype=complex)
+    data[: 1 << state.num_qubits] = state.data
+    return Statevector(num_qubits, data)
+
+
+def permute_wires(state: Statevector, position_of: Sequence[int]) -> Statevector:
+    """Move the content of wire ``p`` to wire ``position_of[p]``.
+
+    Used by the routing probe tier: a routed circuit equals the lifted
+    original followed by the wire permutation its SWAPs accumulated.
+
+    Args:
+        state: the state to permute.
+        position_of: destination wire for each source wire.
+
+    Returns:
+        The permuted state.
+    """
+    n = state.num_qubits
+    indices = np.arange(1 << n)
+    permuted_index = np.zeros_like(indices)
+    for p in range(n):
+        permuted_index |= ((indices >> p) & 1) << position_of[p]
+    data = np.zeros_like(state.data)
+    data[permuted_index] = state.data
+    return Statevector(n, data)

@@ -24,6 +24,7 @@ SUBPACKAGES = (
     "revkit",
     "simulator",
     "synthesis",
+    "verify",
     "frameworks.projectq",
 )
 
@@ -58,6 +59,13 @@ ENTRY_POINTS = (
     "repro.optimization.cancel_adjacent_gates",
     "repro.optimization.tpar_optimize",
     "repro.optimization.template_optimize",
+    "repro.verify.EquivalenceChecker.check_same_unitary",
+    "repro.verify.EquivalenceChecker.check_same_permutation",
+    "repro.verify.EquivalenceChecker.check_specification",
+    "repro.verify.EquivalenceChecker.check_mapped_circuit",
+    "repro.verify.EquivalenceChecker.check_routing",
+    "repro.verify.as_checker",
+    "repro.pipeline.Pass.check",
 )
 
 

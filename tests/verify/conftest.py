@@ -1,0 +1,26 @@
+"""Hypothesis profiles for the verification harness.
+
+The CI ``verification`` job runs with ``HYPOTHESIS_PROFILE=ci`` —
+derandomized (each property fixes its own seed material, so runs are
+reproducible) and with a larger example budget.  Local tier-1 runs use
+the quicker ``dev`` profile.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    max_examples=30,
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "dev",
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
