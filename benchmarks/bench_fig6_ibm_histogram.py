@@ -16,7 +16,8 @@ import numpy as np
 from conftest import report
 
 from repro.core.circuit import QuantumCircuit
-from repro.simulator.noise import NoiseModel, NoisyBackend
+from repro.engines import NoiseModel
+from repro.simulator.noise import NoisyBackend
 from bench_fig5_simple_hidden_shift import run_program
 
 

@@ -22,7 +22,8 @@ from repro.frameworks.projectq import (
     Uncompute,
     X,
 )
-from repro.simulator.noise import NoiseModel, NoisyBackend
+from repro.engines import NoiseModel
+from repro.simulator.noise import NoisyBackend
 
 
 def f(a, b, c, d):

@@ -12,6 +12,11 @@ Subpackages
 ``repro.simulator``
     Statevector, stabilizer (CHP), noisy (IBM-QE substitute) and
     resource-counting backends.
+``repro.engines``
+    The simulation-engine registry: statevector, stabilizer,
+    Monte-Carlo and exact density-matrix backends behind one
+    ``repro.engines.run(engine, circuit, ...)`` front door, with the
+    shared ``NoiseModel`` and its IBM-QE calibration preset.
 ``repro.boolean``
     Boolean function layer: truth tables, ESOPs, BDDs, XAG networks,
     bent functions, permutations, Python-predicate compilation.
@@ -62,6 +67,7 @@ from . import (
     compiler,
     core,
     emit,
+    engines,
     mapping,
     optimization,
     pipeline,
@@ -86,6 +92,7 @@ __all__ = [
     "compiler",
     "core",
     "emit",
+    "engines",
     "mapping",
     "optimization",
     "pipeline",

@@ -10,8 +10,11 @@ Runs the paper's Eq. (5) story from the shell without the REPL:
     $ python -m repro compile perm:0,2,3,5,7,1,4,6 --target qsharp \
           --emit qsharp
     $ python -m repro compile oracle.qasm --target ibm_qe5 --emit qir
+    $ python -m repro compile hwb=4 --target ibm_qe5 --simulate \
+          --shots 4096 --seed 7
     $ python -m repro targets
     $ python -m repro formats
+    $ python -m repro engines
     $ python -m repro cache stats --cache-dir ~/.repro-cache --json
     $ python -m repro cache gc --cache-dir ~/.repro-cache --max-bytes 1048576
     $ python -m repro cache clear --cache-dir ~/.repro-cache
@@ -27,7 +30,9 @@ Workload argument forms:
 
 ``--emit`` and the ``formats`` subcommand enumerate the emitter
 registry dynamically, so backends registered at runtime (or added in
-future releases) show up without CLI changes.
+future releases) show up without CLI changes; ``--engine`` and the
+``engines`` subcommand do the same for the simulation-engine
+registry (:mod:`repro.engines`).
 """
 
 from __future__ import annotations
@@ -40,6 +45,7 @@ from pathlib import Path
 from typing import Any
 
 from . import emit as emit_registry
+from . import engines as engine_registry
 from .compiler import (
     NAMED_FLOWS,
     compile as compile_workload,
@@ -95,6 +101,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
             retry=args.retry,
             # --retry is only meaningful if failing passes re-run
             on_error="retry" if args.retry is not None else None,
+            engine=args.engine,
         )
     except (PipelineError, TypeError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -124,10 +131,47 @@ def _cmd_compile(args: argparse.Namespace) -> int:
                     f"{k}={v}" for k, v in sorted(result.metrics().items())
                 )
                 print(metrics or "(no metrics)", file=info)
-    except PipelineError as exc:
+        if (
+            args.simulate
+            or args.shots is not None
+            or args.noise is not None
+            or args.seed is not None
+        ):
+            sim = result.simulate(
+                # --engine is recorded on the result by compile()
+                shots=args.shots if args.shots is not None else 1024,
+                noise=args.noise,
+                seed=args.seed,
+            )
+            print(_counts_table(sim), file=info)
+    except (PipelineError, engine_registry.EngineError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return 0
+
+
+def _counts_table(result) -> str:
+    """Format a simulation result as an aligned counts table.
+
+    One row per observed outcome, most frequent first: the bitstring,
+    the shot count, and the frequency — plus the exact probability
+    column when the backend computed one (density-matrix runs).
+    """
+    counts = result.counts_by_bitstring()
+    if not counts:
+        return "(no measurement results)"
+    shots = sum(counts.values()) or 1
+    exact = getattr(result, "exact_probabilities", None)
+    width = max(len(bits) for bits in counts)
+    lines = []
+    for bits, count in sorted(
+        counts.items(), key=lambda kv: (-kv[1], kv[0])
+    ):
+        row = f"{bits:>{width}}  {count:>6}  {count / shots:.4f}"
+        if exact is not None:
+            row += f"  exact={result.probability(int(bits, 2)):.4f}"
+        lines.append(row)
+    return "\n".join(lines)
 
 
 def _quarantined_entries(path: str) -> int:
@@ -233,6 +277,27 @@ def _cmd_formats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_engines(args: argparse.Namespace) -> int:
+    """Run the ``engines`` subcommand (list simulation backends)."""
+    names = engine_registry.engines()
+    if args.names:
+        for name in names:
+            print(name)
+        return 0
+    width = max(len(name) for name in names)
+    for name in names:
+        engine = engine_registry.get(name)
+        extras = [engine.capabilities.describe()]
+        aliases = tuple(getattr(engine, "aliases", ()))
+        if aliases:
+            extras.append(f"aka {'/'.join(aliases)}")
+        print(
+            f"{name:<{width}}  {engine.description}"
+            f"  [{', '.join(extras)}]"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -294,6 +359,41 @@ def build_parser() -> argparse.ArgumentParser:
         "registered with repro.emit)",
     )
     cmd.add_argument(
+        "--engine",
+        default=None,
+        metavar="NAME",
+        help="simulation backend for --simulate "
+        f"({', '.join(engine_registry.engines())}, or any engine "
+        "registered with repro.engines); default follows the target",
+    )
+    cmd.add_argument(
+        "--simulate",
+        action="store_true",
+        help="run the compiled circuit on the selected engine and "
+        "print a counts table (implied by --shots/--noise/--seed)",
+    )
+    cmd.add_argument(
+        "--shots",
+        type=int,
+        default=None,
+        metavar="N",
+        help="measurement repetitions for --simulate (default 1024)",
+    )
+    cmd.add_argument(
+        "--noise",
+        default=None,
+        metavar="MODEL",
+        help="noise model for --simulate: a preset (qe5, none) or a "
+        "rate list like p1=0.001,p2=0.03; default follows the target",
+    )
+    cmd.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="RNG seed for reproducible --simulate sampling",
+    )
+    cmd.add_argument(
         "--cache-dir",
         default=None,
         help="persistent pass-cache directory (reused across runs)",
@@ -330,6 +430,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="print bare format names, one per line (for scripting)",
     )
     fmts.set_defaults(func=_cmd_formats)
+
+    engs = sub.add_parser(
+        "engines",
+        help="list the simulation engines registered with repro.engines",
+    )
+    engs.add_argument(
+        "--names",
+        action="store_true",
+        help="print bare engine names, one per line (for scripting)",
+    )
+    engs.set_defaults(func=_cmd_engines)
 
     cache = sub.add_parser(
         "cache",

@@ -13,12 +13,17 @@ rendering the compiled circuit on first use and caching the text.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simulator.statevector import SimulationResult
 
 from ..core.circuit import QuantumCircuit
 from ..core.statistics import CircuitStatistics
 from ..emit import EmitterError, describe_formats
 from ..emit import get as get_emitter
+from ..engines import NoiseModel, as_noise_model
+from ..engines import get as get_engine
 from ..pipeline.flows import Flow
 from ..pipeline.runner import PassRecord, format_records, state_metrics
 from ..pipeline.state import FlowState, PipelineError
@@ -48,6 +53,10 @@ class CompilationResult:
             this compilation finished; ``None`` when it ran uncached.
             The disk figures are ``None`` when the process had not
             yet sized the disk tier (no scan is paid on this path).
+        engine: the simulation backend requested at compile time
+            (``repro.compile(..., engine=)``), canonical name or
+            ``None``; :meth:`simulate` prefers it over the target's
+            default.
     """
 
     workload: Workload
@@ -56,6 +65,7 @@ class CompilationResult:
     state: FlowState
     records: List[PassRecord]
     cache_stats: Optional[Dict[str, Optional[int]]] = None
+    engine: Optional[str] = None
     _emitted: Dict[str, str] = field(
         default_factory=dict, repr=False, compare=False
     )
@@ -264,3 +274,71 @@ class CompilationResult:
             except EmitterError as exc:
                 raise EmissionError(str(exc)) from exc
         return self._emitted[key]
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        engine: Optional[str] = None,
+        shots: int = 1024,
+        noise: Union[NoiseModel, str, None] = None,
+        seed: Optional[int] = None,
+        **opts,
+    ) -> "SimulationResult":
+        """Run the compiled circuit on a registered simulation engine.
+
+        Backend precedence: the explicit ``engine`` argument, then the
+        ``engine=`` recorded at compile time, then the target's
+        ``engine`` field, then ``statevector``.  The target's default
+        ``noise`` model is applied when no ``noise`` argument is given
+        and the selected backend supports noise (a noiseless backend
+        silently skips the target default, but an *explicit* noise
+        argument it cannot honor still raises).  Circuits without
+        measurements get a terminal measure-all copy so every engine
+        returns counts.
+
+        Args:
+            engine: registered engine name or alias (``statevector``,
+                ``stabilizer``, ``density_matrix``, ``monte_carlo``,
+                ...); ``None`` follows the precedence above.
+            shots: measurement repetitions to report.
+            noise: a :class:`~repro.engines.noise.NoiseModel`, a
+                preset name (``"qe5"``), a ``"p1=0.001"`` rate list,
+                or ``None`` for the target default.
+            seed: RNG seed for reproducible sampling.
+            **opts: backend-specific options.
+
+        Returns:
+            The run's
+            :class:`~repro.simulator.statevector.SimulationResult`.
+
+        Raises:
+            PipelineError: when the flow produced no quantum circuit.
+            EngineError: for unknown engines/noise specs, or jobs the
+                backend cannot run.
+        """
+        if self.state.quantum is None:
+            raise PipelineError(
+                "cannot simulate: the flow produced no quantum circuit "
+                "(reversible-level target?)"
+            )
+        name = engine or self.engine
+        if name is None and self.target is not None:
+            name = self.target.engine
+        backend = get_engine(name or "statevector")
+        model = as_noise_model(noise)
+        if (
+            model is None
+            and noise is None
+            and self.target is not None
+            and backend.capabilities.noise
+        ):
+            model = as_noise_model(self.target.noise)
+        circuit = self.state.quantum
+        if not circuit.has_measurements():
+            circuit = circuit.copy()
+            circuit.measure_all()
+        return backend.run(
+            circuit, shots=shots, noise=model, seed=seed, **opts
+        )

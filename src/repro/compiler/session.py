@@ -37,6 +37,8 @@ from concurrent.futures import (
 from dataclasses import dataclass, fields as dataclass_fields
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..engines import EngineError
+from ..engines import get as get_engine
 from ..pipeline.cache import PassCache, shared_cache
 from ..pipeline.flows import DEVICE, EQ5, QSHARP as QSHARP_FLOW, Flow
 from ..pipeline.passes import GENERATOR_KINDS
@@ -111,6 +113,7 @@ def compile(
     deadline: Union[Deadline, float, None] = None,
     retry: Union[RetryPolicy, int, None] = None,
     on_error: Union[str, Dict[str, str], None] = None,
+    engine: Optional[str] = None,
 ) -> CompilationResult:
     """Compile any workload for a target — the one front door.
 
@@ -156,6 +159,10 @@ def compile(
             ``'retry'``, ``'fallback'`` (run the pass's declared
             alternate), or a dict mapping pass names (and ``'*'``) to
             policies.
+        engine: default simulation backend for
+            :meth:`~.result.CompilationResult.simulate` — any name or
+            alias registered with :mod:`repro.engines`, validated
+            here; ``None`` defers to the target's ``engine`` field.
 
     Returns:
         The :class:`~.result.CompilationResult` with the final
@@ -169,6 +176,11 @@ def compile(
     """
     normalized = detect_workload(workload)
     resolved_target = get_target(target)
+    if engine is not None:
+        try:
+            engine = get_engine(engine).name
+        except EngineError as exc:
+            raise PipelineError(str(exc)) from exc
     if verify is None:
         verify = resolved_target.verify
     resolved_flow = _resolve_flow(flow)
@@ -226,6 +238,7 @@ def compile(
         cache_stats=(
             pipeline.cache.counters() if pipeline.cache is not None else None
         ),
+        engine=engine,
     )
 
 

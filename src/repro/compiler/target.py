@@ -38,6 +38,8 @@ from typing import Callable, Dict, Optional, Tuple, Union
 
 from ..emit import EmitterError
 from ..emit import get as get_emitter
+from ..engines import EngineError, NoiseModel, as_noise_model
+from ..engines import get as get_engine
 from ..mapping.routing import CouplingMap
 from ..pipeline.flows import Flow, device as device_flow
 from ..pipeline.passes import (
@@ -88,6 +90,18 @@ class Target:
             checking of every pass), ``"strict"`` (a skipped check
             also fails), or ``True``/``False``; an explicit
             ``repro.compile(verify=...)`` argument overrides it.
+        engine: default simulation backend of
+            :meth:`~.result.CompilationResult.simulate` — any name or
+            alias registered with :mod:`repro.engines`
+            (``statevector``, ``stabilizer``, ``density_matrix``,
+            ``monte_carlo``, ...), canonicalized at construction;
+            unknown names raise with the registered list.  An
+            explicit ``simulate(engine=...)`` argument overrides it.
+        noise: default :class:`~repro.engines.noise.NoiseModel` for
+            simulations against this target (also accepts a preset
+            name like ``"qe5"`` or a ``"p1=0.001"`` rate list,
+            resolved at construction); only applied when the selected
+            engine supports noise.
     """
 
     name: str
@@ -100,19 +114,35 @@ class Target:
     relative_phase: bool = True
     collect_statistics: bool = False
     verify: Union[bool, str] = "off"
+    engine: Optional[str] = None
+    noise: Union[NoiseModel, str, None] = None
 
     def __post_init__(self) -> None:
-        """Canonicalize ``emitter`` and validate the ``verify`` mode.
+        """Canonicalize ``emitter``/``engine``/``noise``, vet ``verify``.
 
         Raises:
-            PipelineError: for emission formats the registry does not
-                know (the message lists the registered ones), or an
-                unknown verification mode.
+            PipelineError: for emission formats, engines or noise
+                specs the registries do not know (the message lists
+                the registered ones), or an unknown verification mode.
         """
         try:
             as_checker(self.verify)
         except ValueError as exc:
             raise PipelineError(f"target {self.name!r}: {exc}") from exc
+        if self.engine is not None:
+            try:
+                canonical_engine = get_engine(self.engine).name
+            except EngineError as exc:
+                raise PipelineError(f"target {self.name!r}: {exc}") from exc
+            if canonical_engine != self.engine:
+                object.__setattr__(self, "engine", canonical_engine)
+        if self.noise is not None:
+            try:
+                resolved = as_noise_model(self.noise)
+            except EngineError as exc:
+                raise PipelineError(f"target {self.name!r}: {exc}") from exc
+            if resolved is not self.noise:
+                object.__setattr__(self, "noise", resolved)
         if self.emitter is None:
             return
         try:
@@ -310,7 +340,8 @@ CLIFFORD_T = register_target(
     )
 )
 
-#: The paper's 5-qubit IBM QE bowtie chip, with routing and QASM out.
+#: The paper's 5-qubit IBM QE bowtie chip, with routing, QASM out, and
+#: the exact noisy simulation tier at the device's calibration rates.
 IBM_QE5 = register_target(
     Target(
         name="ibm_qe5",
@@ -318,6 +349,8 @@ IBM_QE5 = register_target(
         coupling=CouplingMap.ibm_qx2(),
         optimization_level=2,
         emitter="qasm2",
+        engine="density_matrix",
+        noise="qe5",
     )
 )
 

@@ -11,7 +11,8 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ...core.circuit import QuantumCircuit
-from ...simulator.noise import NoiseModel, NoisyBackend
+from ...engines.noise import NoiseModel
+from ...simulator.noise import NoisyBackend
 from ...simulator.resources import ResourceCounter, ResourceEstimate
 from ...simulator.statevector import Statevector, StatevectorSimulator
 

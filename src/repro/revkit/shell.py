@@ -26,6 +26,13 @@ Since PR 5 the ``write_<format>`` commands resolve through the
 every registered format gets a command for free (``write_qasm3``,
 ``write_qsharp``, ``write_projectq``, ``write_cirq``, ``write_qir``,
 and any backend registered at runtime).
+
+Since PR 8 the ``sim_<engine>`` commands resolve the same way through
+the :mod:`repro.engines` registry: ``sim_statevector``,
+``sim_stabilizer``, ``sim_density_matrix``, ``sim_monte_carlo`` (and
+their aliases, e.g. ``sim_dm``) run the current quantum circuit and
+print its outcome histogram; ``--shots``, ``--noise`` and ``--seed``
+options pass through.
 """
 
 from __future__ import annotations
@@ -146,10 +153,14 @@ class RevKitShell:
         if handler is None and name.startswith("write_"):
             format_name = name[len("write_"):]
             handler = lambda *a: self._cmd_write(format_name, *a)  # noqa: E731
+        if handler is None and name.startswith("sim_"):
+            engine_name = name[len("sim_"):]
+            handler = lambda *a: self._cmd_sim(engine_name, *a)  # noqa: E731
         if handler is None:
             raise ShellError(
                 f"unknown command {name!r} (write_<format> accepts "
-                "any repro.emit format)"
+                "any repro.emit format, sim_<engine> any repro.engines "
+                "backend)"
             )
         output = handler(*args)
         self.log.append(f"{command}: {output}")
@@ -389,6 +400,72 @@ class RevKitShell:
 
     def write_qasm(self, path: str) -> str:
         return self._cmd_write("qasm", path)
+
+    def _cmd_sim(self, engine: str, *args: str) -> str:
+        """Run the quantum circuit on a registered simulation engine.
+
+        Backs every ``sim_<engine>`` shell command
+        (``sim_statevector``, ``sim_stabilizer``,
+        ``sim_density_matrix``, ``sim_monte_carlo``, alias forms like
+        ``sim_dm``, and any engine registered at runtime): the engine
+        name resolves through the :mod:`repro.engines` registry.
+        Options: ``--shots N`` (default 1024), ``--noise MODEL`` (a
+        preset like ``qe5`` or a ``p1=...`` rate list), ``--seed N``.
+        A circuit without measurements is run on a terminal
+        measure-all copy.
+        """
+        from .. import engines
+
+        options = _parse_options(args)
+        try:
+            shots = int(options.pop("shots", "1024"))
+            seed_text = options.pop("seed", None)
+            seed = int(seed_text) if seed_text is not None else None
+        except ValueError as exc:
+            raise ShellError(f"sim_{engine}: {exc}") from exc
+        noise = options.pop("noise", None)
+        if options:
+            raise ShellError(
+                f"sim_{engine}: unknown options "
+                f"{', '.join(sorted(options))}"
+            )
+        circuit = self._need_quantum()
+        if not circuit.has_measurements():
+            circuit = circuit.copy()
+            circuit.measure_all()
+        try:
+            result = engines.run(
+                engine, circuit, shots=shots, noise=noise, seed=seed
+            )
+        except (engines.EngineError, RuntimeError) as exc:
+            # EngineError for registry/option problems; RuntimeError
+            # covers backend refusals (e.g. a T gate reaching the
+            # Clifford-only stabilizer engine).
+            raise ShellError(f"sim_{engine}: {exc}") from exc
+        counts = result.counts_by_bitstring()
+        top = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:4]
+        total = sum(counts.values()) or 1
+        histogram = ", ".join(
+            f"|{bits}> {count / total:.3f}" for bits, count in top
+        )
+        if len(counts) > len(top):
+            histogram += f", ... ({len(counts)} outcomes)"
+        return f"{engines.get(engine).name} ({shots} shots): {histogram}"
+
+    def sim(
+        self,
+        engine: str = "statevector",
+        shots: int = 1024,
+        noise: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> str:
+        """Python form of the ``sim_<engine>`` commands."""
+        args = [f"--shots={shots}"]
+        if noise is not None:
+            args.append(f"--noise={noise}")
+        if seed is not None:
+            args.append(f"--seed={seed}")
+        return self._cmd_sim(engine, *args)
 
 
 def _parse_options(args) -> Dict[str, str]:

@@ -5,7 +5,8 @@ the shared in-place kernel layer in :mod:`repro.simulator.kernels`.
 """
 
 from . import kernels
-from .noise import NoiseModel, NoisyBackend
+from ..engines.noise import NoiseModel  # canonical home since PR 8
+from .noise import NoisyBackend
 from .resources import ResourceCounter, ResourceEstimate
 from .stabilizer import StabilizerSimulator, StabilizerState, StabilizerError
 from .statevector import (

@@ -1,61 +1,61 @@
-"""Noisy shot-based backend — the IBM Quantum Experience substitute.
+"""Noisy shot-based backend — the Monte-Carlo trajectory sampler.
 
 The paper runs the 4-qubit hidden-shift circuit on the IBM QE chip
 (Fig. 6): 3 runs x 1024 shots, recovering the correct shift with
 average probability ~0.63.  Real hardware is not available here, so
-this module provides a density-free Monte-Carlo noise simulator:
+this module samples noisy statevector trajectories:
 
 * after every gate, each touched qubit suffers a depolarizing error
   (random Pauli) with a per-gate-class probability;
 * measurement results are flipped with a readout-error probability.
 
-Default error rates follow published calibration data of the 2017/2018
-IBM QE 5-qubit devices (1q ~1.5e-3, 2q ~3.5e-2, readout ~4e-2).  Those
-rates reproduce the *shape* of Fig. 6: the correct outcome dominates at
-well under 1.0 probability, with a broad error floor over the other
-basis states.
+The error rates come from the shared
+:class:`~repro.engines.noise.NoiseModel` (one home for the 2017/2018
+IBM QE5 calibration numbers — 1q ~1.5e-3, 2q ~3.5e-2, readout ~4e-2).
+Those rates reproduce the *shape* of Fig. 6: the correct outcome
+dominates at well under 1.0 probability, with a broad error floor over
+the other basis states.  The exact counterpart is the
+``density_matrix`` engine (:mod:`repro.engines.density_matrix`), which
+evolves the trajectory average of this sampler as a full density
+matrix — same depolarizing convention, no sampling error.
+
+Importing ``NoiseModel`` from this module still works but warns once:
+the dataclass now lives in :mod:`repro.engines.noise` (import it from
+there, or from :mod:`repro.simulator`, which re-exports it silently).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 from typing import Dict, Optional
 
 import numpy as np
 
 from ..core.circuit import QuantumCircuit
-from ..core.gates import Gate
+from ..engines.noise import NoiseModel as _NoiseModel
 from . import kernels
 from .statevector import SimulationResult, Statevector, _measured_width
 
-
-@dataclass(frozen=True)
-class NoiseModel:
-    """Per-gate-class depolarizing + readout error probabilities."""
-
-    p1: float = 0.0015      # single-qubit gate depolarizing probability
-    p2: float = 0.035       # two-qubit gate depolarizing probability (per qubit)
-    p_meas: float = 0.04    # readout bit-flip probability
-    p_multi: float = 0.06   # >2-qubit gate depolarizing probability (per qubit)
-
-    def gate_error(self, gate: Gate) -> float:
-        if gate.num_qubits == 1:
-            return self.p1
-        if gate.num_qubits == 2:
-            return self.p2
-        return self.p_multi
-
-    @classmethod
-    def ibm_qe_2018(cls) -> "NoiseModel":
-        """Calibration representative of the early-2018 IBM QE chips."""
-        return cls(p1=0.0015, p2=0.035, p_meas=0.04, p_multi=0.06)
-
-    @classmethod
-    def noiseless(cls) -> "NoiseModel":
-        return cls(p1=0.0, p2=0.0, p_meas=0.0, p_multi=0.0)
-
-
 _PAULIS = ("x", "y", "z")
+
+_DEPRECATED_WARNED = False
+
+
+def __getattr__(name: str):
+    """Warn once when the relocated ``NoiseModel`` is pulled from here."""
+    if name == "NoiseModel":
+        global _DEPRECATED_WARNED
+        if not _DEPRECATED_WARNED:
+            _DEPRECATED_WARNED = True
+            warnings.warn(
+                "repro.simulator.noise.NoiseModel moved to "
+                "repro.engines.noise (also re-exported by repro.simulator "
+                "and repro.engines); this alias will be removed",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return _NoiseModel
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class NoisyBackend:
@@ -69,10 +69,10 @@ class NoisyBackend:
 
     def __init__(
         self,
-        noise_model: Optional[NoiseModel] = None,
+        noise_model: Optional[_NoiseModel] = None,
         seed: Optional[int] = None,
     ):
-        self.noise_model = noise_model or NoiseModel.ibm_qe_2018()
+        self.noise_model = noise_model or _NoiseModel.ibm_qe_2018()
         self._seed = seed
 
     def run(self, circuit: QuantumCircuit, shots: int = 1024) -> SimulationResult:

@@ -1,0 +1,180 @@
+"""Unit tests for the repro.engines registry."""
+
+import pytest
+
+from repro import engines
+from repro.core.circuit import QuantumCircuit
+from repro.simulator.statevector import SimulationResult
+
+#: The four built-in engines, in canonical listing order.
+EXPECTED_ENGINES = (
+    "statevector", "stabilizer", "density_matrix", "monte_carlo",
+)
+
+
+class DummyEngine:
+    """Minimal protocol-satisfying backend used by registration tests."""
+
+    name = "dummy"
+    description = "test engine"
+    aliases = ("dmy",)
+    capabilities = engines.EngineCapabilities(max_qubits=4)
+
+    def run(self, circuit, *, shots=1024, noise=None, seed=None, **opts):
+        return SimulationResult({0: shots}, None, shots, circuit.num_qubits)
+
+
+@pytest.fixture
+def dummy():
+    engine = engines.register(DummyEngine())
+    try:
+        yield engine
+    finally:
+        engines.unregister("dummy")
+
+
+class TestBuiltins:
+    def test_builtin_engines_registered(self):
+        assert engines.engines() == EXPECTED_ENGINES
+
+    def test_get_resolves_aliases_case_insensitively(self):
+        assert engines.get("sv").name == "statevector"
+        assert engines.get("SV").name == "statevector"
+        assert engines.get("DM").name == "density_matrix"
+        assert engines.get("rho").name == "density_matrix"
+        assert engines.get("chp").name == "stabilizer"
+        assert engines.get("noisy").name == "monte_carlo"
+
+    def test_get_passes_engine_instances_through(self):
+        engine = engines.get("density_matrix")
+        assert engines.get(engine) is engine
+
+    def test_unknown_engine_lists_registered(self):
+        with pytest.raises(engines.EngineError, match="unknown engine"):
+            engines.get("qft_only")
+        with pytest.raises(
+            engines.EngineError, match=r"statevector \(aka sv"
+        ):
+            engines.get("qft_only")
+
+    def test_protocol_runtime_checkable(self):
+        for name in EXPECTED_ENGINES:
+            assert isinstance(engines.get(name), engines.Engine)
+
+    def test_capabilities_match_design(self):
+        assert engines.get("statevector").capabilities.noise is False
+        assert engines.get("stabilizer").capabilities.max_qubits is None
+        assert engines.get("stabilizer").capabilities.gate_set == "clifford"
+        dm = engines.get("density_matrix").capabilities
+        assert dm.noise and dm.exact and dm.max_qubits == 12
+        mc = engines.get("monte_carlo").capabilities
+        assert mc.noise and not mc.exact
+
+    def test_describe_engines_mentions_aliases(self):
+        described = engines.describe_engines()
+        assert "density_matrix (aka dm, rho)" in described
+        assert "monte_carlo (aka mc, noisy)" in described
+
+
+class TestRegistration:
+    def test_register_and_dispatch(self, dummy):
+        assert "dummy" in engines.engines()
+        circuit = QuantumCircuit(3)
+        result = engines.run("dummy", circuit, shots=16)
+        assert result.counts == {0: 16}
+        assert engines.get("dmy") is dummy
+
+    def test_collision_requires_overwrite(self, dummy):
+        with pytest.raises(engines.EngineError, match="already registered"):
+            engines.register(DummyEngine())
+        replacement = DummyEngine()
+        assert engines.register(replacement, overwrite=True) is replacement
+        assert engines.get("dummy") is replacement
+
+    def test_alias_collision_detected(self, dummy):
+        class Clash(DummyEngine):
+            name = "clash"
+            aliases = ("dummy",)
+
+        with pytest.raises(engines.EngineError, match="already registered"):
+            engines.register(Clash())
+
+    def test_incomplete_backend_rejected(self):
+        class NotAnEngine:
+            name = "nope"
+
+        with pytest.raises(engines.EngineError, match="missing"):
+            engines.register(NotAnEngine())
+
+    def test_backend_without_aliases_registers_and_resolves(self):
+        class Minimal:
+            name = "minimal"
+            description = "no aliases attribute at all"
+            capabilities = engines.EngineCapabilities()
+
+            def run(self, circuit, *, shots=1024, noise=None, seed=None,
+                    **opts):
+                return SimulationResult({}, None, shots)
+
+        instance = Minimal()
+        engines.register(instance)
+        try:
+            assert engines.get("minimal") is instance
+            assert engines.get(instance) is instance
+        finally:
+            engines.unregister("minimal")
+
+    def test_overwrite_keeps_listing_position(self):
+        order = engines.engines()
+
+        class Replacement(DummyEngine):
+            name = "stabilizer"
+            aliases = ("chp", "tableau")
+
+        original = engines.get("stabilizer")
+        engines.register(Replacement(), overwrite=True)
+        try:
+            assert engines.engines() == order
+        finally:
+            engines.register(original, overwrite=True)
+        assert engines.engines() == order
+        assert engines.get("chp") is original
+
+    def test_overwrite_shadowing_alias_evicts_shadowed_backend(self, dummy):
+        class Shadow(DummyEngine):
+            name = "shadow"
+            aliases = ("dummy",)
+
+        shadow = engines.register(Shadow(), overwrite=True)
+        try:
+            assert engines.get("dummy") is shadow
+            assert "dummy" not in engines.engines()
+        finally:
+            engines.unregister("shadow")
+            # the fixture's unregister("dummy") must still find a body
+            engines.register(DummyEngine())
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(engines.EngineError, match="unknown engine"):
+            engines.unregister("never-registered")
+
+    def test_run_resolves_noise_specs(self, dummy):
+        captured = {}
+
+        class Probe(DummyEngine):
+            name = "probe"
+            aliases = ()
+
+            def run(self, circuit, *, shots=1024, noise=None, seed=None,
+                    **opts):
+                captured["noise"] = noise
+                return SimulationResult({}, None, shots)
+
+        engines.register(Probe())
+        try:
+            engines.run("probe", QuantumCircuit(1), noise="qe5")
+            assert captured["noise"] == engines.QE5_NOISE
+            engines.run("probe", QuantumCircuit(1), noise="p1=0.5")
+            assert captured["noise"].p1 == 0.5
+        finally:
+            engines.unregister("probe")

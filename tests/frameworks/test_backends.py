@@ -16,7 +16,7 @@ from repro.frameworks.projectq.backends import (
     ResourceCounterBackend,
     Simulator,
 )
-from repro.simulator.noise import NoiseModel
+from repro.engines import NoiseModel
 
 
 class TestSimulatorBackend:

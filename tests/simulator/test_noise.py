@@ -4,7 +4,8 @@ import pytest
 
 from repro.core.circuit import QuantumCircuit
 from repro.core.gates import Gate
-from repro.simulator.noise import NoiseModel, NoisyBackend
+from repro.engines import NoiseModel
+from repro.simulator.noise import NoisyBackend
 
 
 def bell_measure_circuit():

@@ -196,7 +196,8 @@ class TestSimulatorRuns:
 
     def test_counts_by_bitstring_noisy_backend_width(self):
         """NoisyBackend results (no final state) format full-width too."""
-        from repro.simulator.noise import NoiseModel, NoisyBackend
+        from repro.engines import NoiseModel
+        from repro.simulator.noise import NoisyBackend
 
         circ = QuantumCircuit(3, 3)
         for q in range(3):

@@ -17,6 +17,7 @@ SUBPACKAGES = (
     "compiler",
     "core",
     "emit",
+    "engines",
     "mapping",
     "optimization",
     "pipeline",
@@ -43,6 +44,14 @@ ENTRY_POINTS = (
     "repro.emit.parse",
     "repro.emit.emitter_for_path",
     "repro.compiler.CompilationResult.emit",
+    "repro.compiler.CompilationResult.simulate",
+    "repro.engines.register",
+    "repro.engines.unregister",
+    "repro.engines.get",
+    "repro.engines.run",
+    "repro.engines.as_noise_model",
+    "repro.engines.NoiseModel.gate_error",
+    "repro.engines.DensityMatrix.from_statevector",
     "repro.pipeline.Pipeline.apply",
     "repro.pipeline.Pipeline.run",
     "repro.pipeline.PassCache.probe",
