@@ -106,6 +106,59 @@ def test_kernels_vs_dense(benchmark):
     benchmark.pedantic(_run, rounds=1, iterations=1)
 
 
+def test_backend_matrix(benchmark):
+    def _run():
+        """Per-array-backend timings of the layered_circuit(16) series.
+
+        Every registered array backend (NumPy always; numba when the
+        optional dependency is installed) evolves the same circuit;
+        the amplitudes must agree to 1e-12 and the per-backend wall
+        times land in the committed ``BENCH_simulator.json`` baseline
+        so later PRs can track NumPy-path regressions and the JIT
+        backend's trajectory.
+        """
+        import numpy as np
+
+        from repro.simulator import backends as array_backends
+
+        circ = layered_circuit(16)
+        rows = [("series: layered_circuit(16), one row per array backend", "")]
+        matrix = {}
+        reference = None
+        for name in array_backends.backends():
+            best = float("inf")
+            final = None
+            for _ in range(3):  # best-of-3 also absorbs JIT warm-up
+                sim = StatevectorSimulator(backend=name)
+                start = time.perf_counter()
+                final = sim.statevector(circ)
+                best = min(best, time.perf_counter() - start)
+            matrix[name] = best
+            if reference is None:
+                reference = final
+            else:
+                assert np.allclose(final, reference, atol=1e-12), name
+            rows.append(
+                (f"backend = {name}", f"best of 3 = {best * 1000:8.2f} ms")
+            )
+        if "numba" not in matrix:
+            rows.append(
+                ("backend = numba", "not installed (optional) — skipped")
+            )
+        report("CLAIM-SIM: array-backend timing matrix", rows)
+        benchmark.extra_info["backend_matrix_seconds"] = {
+            name: round(t, 4) for name, t in matrix.items()
+        }
+        benchmark.extra_info["backend_matrix_note"] = (
+            "layered_circuit(16) best-of-3 per registered array backend; "
+            "numba rows appear only where the optional dependency is "
+            "installed (never a hard requirement)"
+        )
+        assert "numpy" in matrix
+
+    benchmark.pedantic(_run, rounds=1, iterations=1)
+
+
 def test_stabilizer_reach(benchmark):
     def _run():
         """The Clifford engine runs widths the statevector never could."""

@@ -40,6 +40,7 @@ import numpy as np
 
 from ..core.circuit import QuantumCircuit
 from ..core.gates import ADJOINT_NAME, Gate
+from ..simulator import backends as array_backends
 from ..simulator import kernels
 from ..simulator.statevector import (
     SimulationResult,
@@ -98,13 +99,21 @@ class DensityMatrix:
     row bits are ``n..2n-1``.
     """
 
-    def __init__(self, num_qubits: int, data: Optional[np.ndarray] = None):
+    def __init__(
+        self,
+        num_qubits: int,
+        data: Optional[np.ndarray] = None,
+        backend=None,
+    ):
         """Initialize to |0..0><0..0| or a copy of ``data``.
 
         Args:
             num_qubits: the register width ``n``.
             data: optional ``2^n x 2^n`` (or flat ``4^n``) initial
                 matrix, copied.
+            backend: optional array backend (name, instance, or
+                ``None`` for the process default) executing the
+                kernels on the flat ``rho`` vector.
         """
         if num_qubits < 0:
             raise ValueError("num_qubits must be non-negative")
@@ -116,15 +125,17 @@ class DensityMatrix:
                 "'monte_carlo' for wider circuits"
             )
         self.num_qubits = num_qubits
+        #: the array backend executing this matrix's kernel sweeps.
+        self.backend = array_backends.resolve(backend)
         dim = 1 << num_qubits
         if data is None:
-            self.data = np.zeros(dim * dim, dtype=complex)
+            self.data = self.backend.zeros(2 * num_qubits)
             self.data[0] = 1.0
         else:
-            data = np.asarray(data, dtype=complex).reshape(-1)
+            data = self.backend.prepare(data).reshape(-1)
             if data.shape != (dim * dim,):
                 raise ValueError(f"density matrix must have {dim * dim} entries")
-            self.data = data.copy()
+            self.data = data
 
     @classmethod
     def from_statevector(cls, state: Statevector) -> "DensityMatrix":
@@ -140,7 +151,7 @@ class DensityMatrix:
 
     def copy(self) -> "DensityMatrix":
         """Return an independent copy."""
-        return DensityMatrix(self.num_qubits, self.data)
+        return DensityMatrix(self.num_qubits, self.data, backend=self.backend)
 
     def matrix(self) -> np.ndarray:
         """The density matrix as a ``2^n x 2^n`` array (a view)."""
@@ -167,18 +178,24 @@ class DensityMatrix:
         total = 2 * n
         # left-multiply U: the same gate on the row qubits
         row_gate = gate.remap({q: q + n for q in gate.qubits})
-        if not kernels.apply_gate(self.data, row_gate, total):
+        if not kernels.apply_gate(
+            self.data, row_gate, total, backend=self.backend
+        ):
             kernels.apply_matrix(
                 self.data,
                 gate.matrix(),
                 [q + n for q in gate.qubits],
                 total,
+                backend=self.backend,
             )
         # right-multiply U^+: the conjugated gate on the column qubits
         conj = _conjugate_gate(gate)
-        if conj is None or not kernels.apply_gate(self.data, conj, total):
+        if conj is None or not kernels.apply_gate(
+            self.data, conj, total, backend=self.backend
+        ):
             kernels.apply_matrix(
-                self.data, np.conj(gate.matrix()), gate.qubits, total
+                self.data, np.conj(gate.matrix()), gate.qubits, total,
+                backend=self.backend,
             )
 
     def apply_unitary(self, matrix: np.ndarray, qubits: List[int]) -> None:
@@ -191,9 +208,12 @@ class DensityMatrix:
         n = self.num_qubits
         matrix = np.asarray(matrix, dtype=complex)
         kernels.apply_matrix(
-            self.data, matrix, [q + n for q in qubits], 2 * n
+            self.data, matrix, [q + n for q in qubits], 2 * n,
+            backend=self.backend,
         )
-        kernels.apply_matrix(self.data, np.conj(matrix), qubits, 2 * n)
+        kernels.apply_matrix(
+            self.data, np.conj(matrix), qubits, 2 * n, backend=self.backend
+        )
 
     def apply_channel(self, kind: str, rate: float, qubit: int) -> None:
         """Apply a builtin single-qubit channel exactly.
@@ -213,6 +233,7 @@ class DensityMatrix:
             superop,
             [qubit + self.num_qubits, qubit],
             2 * self.num_qubits,
+            backend=self.backend,
         )
 
     def reset_qubit(self, qubit: int) -> None:
@@ -324,12 +345,13 @@ class DensityMatrixEngine:
                 damping channels on every touched qubit, and measured
                 bits mix through the readout-assignment matrix.
             seed: RNG seed for the count sampling only.
-            **opts: no backend options are defined; any raises.
+            **opts: ``backend`` selects the array backend (name or
+                instance); any other option raises.
 
         Returns:
             The run's :class:`DensityMatrixResult`.
         """
-        reject_opts(self, opts)
+        reject_opts(self, opts, allowed=("backend",))
         if shots < 0:
             raise EngineError("shots must be non-negative")
         if not _measurements_terminal(circuit):
@@ -338,7 +360,7 @@ class DensityMatrixEngine:
                 "use 'statevector' or 'monte_carlo' for mid-circuit "
                 "measurement"
             )
-        rho = DensityMatrix(circuit.num_qubits)
+        rho = DensityMatrix(circuit.num_qubits, backend=opts.get("backend"))
         measure_map: Dict[int, int] = {}  # clbit -> qubit (last wins)
         for gate in circuit.gates:
             if gate.name == "barrier":

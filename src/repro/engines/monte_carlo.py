@@ -53,12 +53,15 @@ class MonteCarloEngine:
                 the paper's device rates).  Damping rates are exact-
                 tier channels and are rejected here.
             seed: RNG seed for the error/measurement sampling.
-            **opts: no backend options are defined; any raises.
+            **opts: ``backend`` selects the array backend;
+                ``batched=True`` evolves all trajectories on one batch
+                axis (statistically identical, different RNG stream).
+                Any other option raises.
 
         Returns:
             The run's :class:`SimulationResult` (counts only).
         """
-        reject_opts(self, opts)
+        reject_opts(self, opts, allowed=("backend", "batched"))
         model = noise if noise is not None else NoiseModel.noiseless()
         if model.amplitude_damping or model.phase_damping:
             raise EngineError(
@@ -68,7 +71,12 @@ class MonteCarloEngine:
             )
         from ..simulator.noise import NoisyBackend
 
-        return NoisyBackend(model, seed=seed).run(circuit, shots=shots)
+        sampler = NoisyBackend(
+            model, seed=seed, backend=opts.get("backend")
+        )
+        if opts.get("batched", False):
+            return sampler.run_batched(circuit, shots=shots)
+        return sampler.run(circuit, shots=shots)
 
 
 #: the registry's lazy-loading hook (mirrors ``emit``'s ``EMITTER``).

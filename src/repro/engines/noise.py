@@ -185,6 +185,11 @@ def as_noise_model(
                 f"unknown noise rate {name!r}; fields: "
                 f"{', '.join(valid)}"
             )
+        if name in rates:
+            raise EngineError(
+                f"duplicate noise rate {name!r} in {spec!r}; "
+                "each field may appear at most once"
+            )
         try:
             rates[name] = float(value)
         except ValueError:

@@ -1,0 +1,734 @@
+"""Pluggable array backends under the kernel layer.
+
+The kernel layer (:mod:`repro.simulator.kernels`) keeps the gate
+semantics — dispatch, control handling, gate fusion — while every
+actual array sweep goes through the narrow :class:`ArrayBackend`
+interface defined here:
+
+* **state allocation / ingest** — :meth:`ArrayBackend.zeros` and
+  :meth:`ArrayBackend.prepare` own the dtype contract (states are
+  complex; real/integer input is upcast on ingest, non-numeric input
+  raises ``TypeError``);
+* **slice linear combinations** — :meth:`ArrayBackend.apply_1q` (the
+  2x2 kernel with diagonal/antidiagonal fast paths),
+  :meth:`ArrayBackend.apply_swap` and the generic ``2^k``-slice kernel
+  :meth:`ArrayBackend.apply_matrix`;
+* **elementwise diagonal multiplies** — :meth:`ArrayBackend.apply_diag1`
+  and the merged multi-qubit :meth:`ArrayBackend.apply_diag`;
+* **axis-grouped matmul** — :meth:`ArrayBackend.apply_block`, the fused
+  block executed as one BLAS contraction.
+
+Every method takes the *flat* state array of shape ``(2**n, *batch)``:
+trailing batch axes are first-class, which is how multi-shot and
+noise-trajectory evolution vectorize over one batch axis (see
+:meth:`repro.simulator.noise.NoisyBackend.run_batched` and the dense
+unitary evolution in :mod:`repro.core.unitary`).
+
+Backends register by name, mirroring the :mod:`repro.emit` and
+:mod:`repro.engines` registries (case-insensitive, alias-aware, lazy
+builtin loading).  :class:`NumpyBackend` is the default and the
+reference implementation; :class:`NumbaBackend` JIT-compiles the
+memory-bound slice kernels when ``numba`` is importable and is never a
+hard dependency — resolving it without numba raises
+:class:`BackendUnavailable`, and selecting it through the
+``REPRO_ARRAY_BACKEND`` environment variable degrades to NumPy with a
+single warning instead of failing.
+
+Selection precedence, strongest first: an explicit ``backend=``
+argument (``Statevector``/``DensityMatrix``/engine ``run`` options or
+any kernel entry point) > :func:`set_default_backend` >
+``REPRO_ARRAY_BACKEND`` > NumPy.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+#: environment variable naming the process-wide default backend.
+ENV_VAR = "REPRO_ARRAY_BACKEND"
+
+
+class BackendError(ValueError):
+    """Raised for unknown backend names or invalid registrations."""
+
+
+class BackendUnavailable(BackendError):
+    """Raised when a known backend's accelerator dependency is missing."""
+
+
+# ----------------------------------------------------------------------
+# tensor plumbing shared with the kernel layer
+# ----------------------------------------------------------------------
+def infer_num_qubits(state: np.ndarray) -> int:
+    """Number of qubits of a flat or batched state array."""
+    dim = state.shape[0]
+    n = dim.bit_length() - 1
+    if 1 << n != dim:
+        raise ValueError("state length is not a power of two")
+    return n
+
+
+def _tensor(state: np.ndarray, n: int) -> np.ndarray:
+    """View of ``state`` with one axis per qubit (batch axes trail)."""
+    return state.reshape((2,) * n + state.shape[1:])
+
+
+def _subview(t: np.ndarray, n: int, controls: Sequence[int]) -> np.ndarray:
+    """View with every control axis fixed at |1>."""
+    if not controls:
+        return t
+    idx: List[object] = [slice(None)] * n
+    for c in controls:
+        idx[n - 1 - c] = 1
+    return t[tuple(idx)]
+
+
+def _axis_after_controls(qubit: int, n: int, controls: Sequence[int]) -> int:
+    """Axis of ``qubit`` inside the control subview."""
+    return (n - 1 - qubit) - sum(1 for c in controls if c > qubit)
+
+
+# ----------------------------------------------------------------------
+# the default backend — plain NumPy, the reference implementation
+# ----------------------------------------------------------------------
+class NumpyBackend:
+    """The default :class:`ArrayBackend`: vectorized NumPy slice math.
+
+    Every kernel is expressed as in-place operations on strided views
+    of the state tensor, exactly as the pre-backend kernel layer did —
+    the golden suite in ``tests/simulator/test_array_backends.py`` asserts
+    the outputs are *identical* to the historical kernels, not merely
+    close.
+    """
+
+    name = "numpy"
+    description = "vectorized NumPy slice kernels (the default)"
+    aliases = ("np", "default")
+
+    @classmethod
+    def available(cls) -> bool:
+        """Whether this backend's dependencies are importable."""
+        return True
+
+    # -- allocation / dtype contract -----------------------------------
+    def zeros(
+        self, num_qubits: int, batch: Tuple[int, ...] = ()
+    ) -> np.ndarray:
+        """Allocate an all-zero complex state of ``(2**n, *batch)``.
+
+        Args:
+            num_qubits: register width ``n``.
+            batch: optional trailing batch axes (one column per
+                trajectory/shot/unitary column).
+
+        Returns:
+            A zeroed ``complex128`` array.
+        """
+        return np.zeros((1 << num_qubits,) + tuple(batch), dtype=complex)
+
+    def prepare(self, data, copy: bool = True) -> np.ndarray:
+        """Coerce ``data`` to a complex state array (the dtype contract).
+
+        Real floating, integer and boolean input upcasts to
+        ``complex128``; complex input is kept (copied when ``copy``).
+        This is the supported way to feed non-complex data to the
+        kernels — the in-place entry points themselves refuse
+        non-complex arrays rather than silently truncating them.
+
+        Args:
+            data: array-like state data.
+            copy: always return a fresh array (default) instead of a
+                view of complex input.
+
+        Returns:
+            The complex state array.
+
+        Raises:
+            TypeError: for data that cannot upcast to complex
+                (strings, objects, ...).
+        """
+        arr = np.asarray(data)
+        if not np.issubdtype(arr.dtype, np.number) and arr.dtype != bool:
+            raise TypeError(
+                f"cannot build a complex state from dtype {arr.dtype}; "
+                "states must be numeric (upcastable to complex128)"
+            )
+        if np.issubdtype(arr.dtype, np.complexfloating):
+            out = np.array(arr, dtype=complex, copy=True) if copy else arr
+            return out
+        return arr.astype(complex)
+
+    # -- slice linear combinations -------------------------------------
+    def apply_1q(
+        self,
+        state: np.ndarray,
+        n: int,
+        matrix: np.ndarray,
+        qubit: int,
+        controls: Sequence[int] = (),
+    ) -> None:
+        """Apply a 2x2 matrix to ``qubit`` within the control subspace.
+
+        One linear combination over two half-state views; diagonal and
+        antidiagonal matrices take cheaper copy/scale paths.
+        """
+        t = _tensor(state, n)
+        sub = _subview(t, n, controls)
+        ax = _axis_after_controls(qubit, n, controls)
+        i0 = (slice(None),) * ax + (0,)
+        i1 = (slice(None),) * ax + (1,)
+        a, b, c, d = matrix.ravel()
+        if b == 0 and c == 0:  # diagonal
+            if a != 1.0:
+                sub[i0] *= a
+            if d != 1.0:
+                sub[i1] *= d
+            return
+        v0 = sub[i0]
+        v1 = sub[i1]
+        if a == 0 and d == 0:  # antidiagonal (X, Y, and phased variants)
+            tmp = v0.copy()
+            sub[i0] = v1 if b == 1.0 else b * v1
+            sub[i1] = tmp if c == 1.0 else c * tmp
+            return
+        t0 = a * v0 + b * v1
+        t1 = c * v0 + d * v1
+        sub[i0] = t0
+        sub[i1] = t1
+
+    def apply_swap(
+        self,
+        state: np.ndarray,
+        n: int,
+        qubit_a: int,
+        qubit_b: int,
+        controls: Sequence[int] = (),
+    ) -> None:
+        """Exchange the |01> and |10> subspaces of two qubits."""
+        t = _tensor(state, n)
+        sub = _subview(t, n, controls)
+        ax_a = _axis_after_controls(qubit_a, n, controls)
+        ax_b = _axis_after_controls(qubit_b, n, controls)
+        idx01: List[object] = [slice(None)] * (max(ax_a, ax_b) + 1)
+        idx10 = list(idx01)
+        idx01[ax_a] = 0
+        idx01[ax_b] = 1
+        idx10[ax_a] = 1
+        idx10[ax_b] = 0
+        i01 = tuple(idx01)
+        i10 = tuple(idx10)
+        tmp = sub[i01].copy()
+        sub[i01] = sub[i10]
+        sub[i10] = tmp
+
+    def apply_matrix(
+        self,
+        state: np.ndarray,
+        n: int,
+        matrix: np.ndarray,
+        qubits: Sequence[int],
+    ) -> None:
+        """Generic in-place k-qubit kernel: one view per local basis state.
+
+        ``qubits[0]`` is the most-significant bit of the matrix's local
+        index space (matching ``Gate.matrix``).
+        """
+        t = _tensor(state, n)
+        k = len(qubits)
+        dim = 1 << k
+        if matrix.shape != (dim, dim):
+            raise ValueError("matrix does not match qubit count")
+        if t.ndim == n:
+            # gate touches every axis: keep a trailing length-1 axis so
+            # the per-basis views stay writable arrays instead of scalars
+            t = t.reshape((2,) * n + (1,))
+        views = []
+        for basis in range(dim):
+            idx: List[object] = [slice(None)] * n
+            for j, q in enumerate(qubits):
+                idx[n - 1 - q] = (basis >> (k - 1 - j)) & 1
+            views.append(t[tuple(idx)])
+        rows = []
+        for r in range(dim):
+            acc = None
+            for c in range(dim):
+                coeff = matrix[r, c]
+                if coeff == 0:
+                    continue
+                if acc is None:
+                    acc = views[c] * coeff  # materializes; views stay readable
+                else:
+                    acc += coeff * views[c]
+            rows.append(acc)
+        for r in range(dim):
+            if rows[r] is None:
+                views[r][...] = 0
+            else:
+                views[r][...] = rows[r]
+
+    # -- elementwise diagonal multiplies -------------------------------
+    def apply_diag1(
+        self,
+        state: np.ndarray,
+        n: int,
+        d0: complex,
+        d1: complex,
+        qubit: int,
+        controls: Sequence[int] = (),
+    ) -> None:
+        """Multiply the |0>/|1> slices of ``qubit`` by ``(d0, d1)``."""
+        t = _tensor(state, n)
+        sub = _subview(t, n, controls)
+        ax = _axis_after_controls(qubit, n, controls)
+        if d0 != 1.0:
+            sub[(slice(None),) * ax + (0,)] *= d0
+        if d1 != 1.0:
+            sub[(slice(None),) * ax + (1,)] *= d1
+
+    def apply_diag(
+        self,
+        state: np.ndarray,
+        n: int,
+        qubits_desc: Tuple[int, ...],
+        diag: np.ndarray,
+    ) -> None:
+        """Multiply by a merged multi-qubit local diagonal.
+
+        ``qubits_desc`` lists the touched qubits in descending order;
+        ``qubits_desc[0]`` is the most-significant bit of ``diag``'s
+        index space.
+        """
+        t = _tensor(state, n)
+        shape = [1] * t.ndim
+        for q in qubits_desc:
+            shape[n - 1 - q] = 2
+        t *= diag.reshape(shape)
+
+    # -- axis-grouped matmul -------------------------------------------
+    def apply_block(
+        self,
+        state: np.ndarray,
+        n: int,
+        qubits_desc: Tuple[int, ...],
+        matrix: np.ndarray,
+    ) -> None:
+        """Apply a fused block matrix with one BLAS matmul.
+
+        The state is reshaped so the block's qubit axes form one axis;
+        if the block's qubits are contiguous this is a pure reshape,
+        otherwise the axes are transposed next to each other first (two
+        copies).  Batched states fall back to the generic slice kernel.
+        """
+        t = _tensor(state, n)
+        f = len(qubits_desc)
+        dim = 1 << f
+        axes = [n - 1 - q for q in qubits_desc]  # ascending
+        if t.ndim != n:  # batched (e.g. dense-unitary evolution)
+            self.apply_matrix(state, n, matrix, qubits_desc)
+            return
+        if axes == list(range(axes[0], axes[0] + f)):
+            if axes[-1] == n - 1:
+                view = state.reshape(-1, dim)
+                view[...] = view @ matrix.T
+            else:
+                view = state.reshape(1 << axes[0], dim, -1)
+                view[...] = np.matmul(matrix, view)
+            return
+        perm = [a for a in range(n) if a not in axes] + axes
+        transposed = np.transpose(t, perm)
+        flat = np.ascontiguousarray(transposed).reshape(-1, dim)
+        transposed[...] = (flat @ matrix.T).reshape(transposed.shape)
+
+
+#: alias documenting the interface: any object shaped like NumpyBackend.
+ArrayBackend = NumpyBackend
+
+
+# ----------------------------------------------------------------------
+# the optional numba backend — JIT'd slice kernels, never a hard dep
+# ----------------------------------------------------------------------
+def _load_numba_kernels():
+    """Compile the numba slice kernels; ``None`` if numba is missing."""
+    try:
+        import numba
+    except ImportError:
+        return None
+
+    jit = numba.njit(cache=False, fastmath=False)
+
+    @jit
+    def nb_apply_1q(data, a, b, c, d, tbit, cmask):
+        for i in range(data.shape[0]):
+            if (i & tbit) == 0 and (i & cmask) == cmask:
+                j = i | tbit
+                v0 = data[i]
+                v1 = data[j]
+                data[i] = a * v0 + b * v1
+                data[j] = c * v0 + d * v1
+
+    @jit
+    def nb_apply_diag1(data, d0, d1, tbit, cmask):
+        for i in range(data.shape[0]):
+            if (i & cmask) == cmask:
+                if (i & tbit) == 0:
+                    data[i] = data[i] * d0
+                else:
+                    data[i] = data[i] * d1
+
+    @jit
+    def nb_apply_swap(data, abit, bbit, cmask):
+        for i in range(data.shape[0]):
+            # visit each |01>/|10> pair once, from its |01> member
+            if (i & abit) == 0 and (i & bbit) == bbit and (i & cmask) == cmask:
+                j = (i | abit) & ~bbit
+                tmp = data[i]
+                data[i] = data[j]
+                data[j] = tmp
+
+    @jit
+    def nb_apply_diag(data, diag, qubits_desc):
+        m = qubits_desc.shape[0]
+        for i in range(data.shape[0]):
+            local = 0
+            for j in range(m):
+                local |= ((i >> qubits_desc[j]) & 1) << (m - 1 - j)
+            data[i] = data[i] * diag[local]
+
+    return {
+        "1q": nb_apply_1q,
+        "diag1": nb_apply_diag1,
+        "swap": nb_apply_swap,
+        "diag": nb_apply_diag,
+    }
+
+
+def _control_mask(controls: Sequence[int]) -> int:
+    """OR of the control qubits' index bits."""
+    mask = 0
+    for c in controls:
+        mask |= 1 << c
+    return mask
+
+
+class NumbaBackend(NumpyBackend):
+    """JIT-compiled slice kernels via numba (optional accelerator).
+
+    Overrides the memory-bound slice kernels — 1q linear combinations,
+    diagonal multiplies, swaps — with ``numba.njit`` bit-twiddling
+    loops over the flat state.  The BLAS-bound paths (fused block
+    matmul, the generic dense kernel) and every batched call inherit
+    the NumPy implementation, where vectorized code is already at
+    memory/BLAS speed.
+
+    The class is always importable; *instantiation* requires numba
+    (:meth:`available`), so feature detection stays at registry
+    resolution and numba is never a hard dependency.
+    """
+
+    name = "numba"
+    description = "numba-JIT bit-twiddling slice kernels (optional)"
+    aliases = ("nb", "jit")
+
+    _kernels = None
+
+    @classmethod
+    def available(cls) -> bool:
+        """Whether numba is importable (compilation is deferred)."""
+        try:
+            import numba  # noqa: F401
+        except ImportError:
+            return False
+        return True
+
+    def __init__(self):
+        """Compile the JIT kernels once per process.
+
+        Raises:
+            BackendUnavailable: when numba is not importable.
+        """
+        if type(self)._kernels is None:
+            kernels = _load_numba_kernels()
+            if kernels is None:
+                raise BackendUnavailable(
+                    "array backend 'numba' needs the numba package "
+                    "(pip install numba); the 'numpy' backend is the "
+                    "dependency-free default"
+                )
+            type(self)._kernels = kernels
+
+    def _jittable(self, state: np.ndarray) -> bool:
+        """True when the flat 1-D JIT loops apply to ``state``."""
+        return (
+            state.ndim == 1
+            and state.dtype == np.complex128
+            and state.flags.c_contiguous
+        )
+
+    def apply_1q(self, state, n, matrix, qubit, controls=()):
+        """Apply a 2x2 matrix via the JIT pair loop (NumPy for batches)."""
+        if not self._jittable(state):
+            return super().apply_1q(state, n, matrix, qubit, controls)
+        a, b, c, d = (complex(v) for v in matrix.ravel())
+        self._kernels["1q"](
+            state, a, b, c, d, 1 << qubit, _control_mask(controls)
+        )
+
+    def apply_diag1(self, state, n, d0, d1, qubit, controls=()):
+        """Elementwise (d0, d1) multiply via the JIT loop."""
+        if not self._jittable(state):
+            return super().apply_diag1(state, n, d0, d1, qubit, controls)
+        self._kernels["diag1"](
+            state, complex(d0), complex(d1), 1 << qubit,
+            _control_mask(controls),
+        )
+
+    def apply_swap(self, state, n, qubit_a, qubit_b, controls=()):
+        """Exchange the |01>/|10> subspaces via the JIT pair loop."""
+        if not self._jittable(state):
+            return super().apply_swap(state, n, qubit_a, qubit_b, controls)
+        self._kernels["swap"](
+            state, 1 << qubit_a, 1 << qubit_b, _control_mask(controls)
+        )
+
+    def apply_diag(self, state, n, qubits_desc, diag):
+        """Merged multi-qubit diagonal multiply via the JIT gather loop."""
+        if not self._jittable(state):
+            return super().apply_diag(state, n, qubits_desc, diag)
+        self._kernels["diag"](
+            state,
+            np.ascontiguousarray(diag, dtype=complex),
+            np.asarray(qubits_desc, dtype=np.int64),
+        )
+
+
+# ----------------------------------------------------------------------
+# the registry — name -> backend, mirroring repro.emit / repro.engines
+# ----------------------------------------------------------------------
+_BUILTIN_CLASSES = (NumpyBackend, NumbaBackend)
+
+_REGISTRY: Dict[str, ArrayBackend] = {}
+_ALIASES: Dict[str, str] = {}
+_ORDER: List[str] = []
+_BUILTINS_LOADED = False
+
+_DEFAULT: Optional[ArrayBackend] = None
+_ENV_WARNED = False
+
+
+def _ensure_builtins() -> None:
+    """Register the available builtin backends exactly once."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    for cls in _BUILTIN_CLASSES:
+        if cls.available():
+            register(cls())
+
+
+def register(backend: ArrayBackend, overwrite: bool = False) -> ArrayBackend:
+    """Register a backend under its canonical name and aliases.
+
+    Args:
+        backend: the backend to register (anything shaped like
+            :class:`NumpyBackend` — same methods, ``name``,
+            ``description``, optional ``aliases``).
+        overwrite: replace an existing registration instead of raising.
+
+    Returns:
+        The registered backend (for chaining).
+
+    Raises:
+        BackendError: when the backend is missing interface methods,
+            or its name/alias collides and ``overwrite`` is false.
+    """
+    for attr in ("name", "description", "zeros", "prepare", "apply_1q",
+                 "apply_diag1", "apply_diag", "apply_swap", "apply_matrix",
+                 "apply_block"):
+        if not hasattr(backend, attr):
+            raise BackendError(
+                f"array backend {backend!r} does not satisfy the "
+                f"ArrayBackend interface: missing {attr!r}"
+            )
+    _ensure_builtins()
+    name = backend.name.lower()
+    aliases = tuple(a.lower() for a in getattr(backend, "aliases", ()))
+    taken = [
+        key for key in (name, *aliases)
+        if key in _REGISTRY or key in _ALIASES
+    ]
+    if taken and not overwrite:
+        raise BackendError(
+            f"array backend {taken[0]!r} is already registered; pass "
+            "overwrite=True to replace it"
+        )
+    for key in (name, *aliases):
+        if key in _REGISTRY:
+            unregister(key)
+        _ALIASES.pop(key, None)
+    for alias, canonical in list(_ALIASES.items()):
+        if canonical == name:
+            del _ALIASES[alias]
+    _REGISTRY[name] = backend
+    if name not in _ORDER:
+        _ORDER.append(name)
+    for alias in aliases:
+        _ALIASES[alias] = name
+    return backend
+
+
+def unregister(name: str) -> ArrayBackend:
+    """Remove a backend registration (built-ins included).
+
+    Args:
+        name: the canonical backend name to remove (not an alias).
+
+    Returns:
+        The removed backend.
+
+    Raises:
+        BackendError: when no backend of that name is registered.
+    """
+    global _DEFAULT
+    _ensure_builtins()
+    key = name.lower()
+    backend = _REGISTRY.get(key)
+    if backend is None:
+        raise BackendError(
+            f"unknown array backend {name!r}; registered: "
+            f"{describe_backends()}"
+        )
+    del _REGISTRY[key]
+    _ORDER.remove(key)
+    for alias, canonical in list(_ALIASES.items()):
+        if canonical == key:
+            del _ALIASES[alias]
+    if _DEFAULT is backend:
+        _DEFAULT = None
+    return backend
+
+
+def get(spec: Union[str, ArrayBackend]) -> ArrayBackend:
+    """Resolve a backend name (or instance) to its backend.
+
+    Args:
+        spec: a registered backend name or alias (case-insensitive),
+            or a backend instance (returned as-is).
+
+    Returns:
+        The resolved backend.
+
+    Raises:
+        BackendUnavailable: for known builtin backends whose
+            dependency is missing (the message names the package).
+        BackendError: for unknown names; the message lists the
+            registered backends.
+    """
+    if not isinstance(spec, str):
+        if hasattr(spec, "apply_1q") and hasattr(spec, "name"):
+            return spec
+        raise BackendError(
+            f"expected a backend name or ArrayBackend, got "
+            f"{type(spec).__name__}"
+        )
+    _ensure_builtins()
+    key = spec.lower()
+    key = _ALIASES.get(key, key)
+    backend = _REGISTRY.get(key)
+    if backend is None:
+        for cls in _BUILTIN_CLASSES:
+            names = (cls.name, *cls.aliases)
+            if key in (n.lower() for n in names) and not cls.available():
+                cls()  # raises BackendUnavailable with the install hint
+        raise BackendError(
+            f"unknown array backend {spec!r}; registered: "
+            f"{describe_backends()}"
+        )
+    return backend
+
+
+def backends() -> Tuple[str, ...]:
+    """Return the canonical registered backend names, in listing order."""
+    _ensure_builtins()
+    return tuple(_ORDER)
+
+
+def describe_backends() -> str:
+    """Return ``"numpy (aka np, default), ..."`` for error messages."""
+    parts = []
+    for name in backends():
+        aliases = tuple(
+            alias for alias, canonical in _ALIASES.items()
+            if canonical == name
+        )
+        if aliases:
+            parts.append(f"{name} (aka {', '.join(aliases)})")
+        else:
+            parts.append(name)
+    return ", ".join(parts)
+
+
+def set_default_backend(
+    spec: Union[str, ArrayBackend, None]
+) -> Optional[ArrayBackend]:
+    """Set (or clear) the process-wide default backend.
+
+    Args:
+        spec: a backend name/instance, or ``None`` to fall back to the
+            ``REPRO_ARRAY_BACKEND`` environment variable / NumPy.
+
+    Returns:
+        The new default backend (``None`` when cleared).
+    """
+    global _DEFAULT
+    _DEFAULT = None if spec is None else get(spec)
+    return _DEFAULT
+
+
+def default_backend() -> ArrayBackend:
+    """The backend used when no ``backend=`` argument is given.
+
+    Resolution order: :func:`set_default_backend` >
+    ``REPRO_ARRAY_BACKEND`` (degrading to NumPy with one warning when
+    the named backend is unknown or unavailable) > NumPy.
+
+    Returns:
+        The default :class:`ArrayBackend`.
+    """
+    global _ENV_WARNED
+    if _DEFAULT is not None:
+        return _DEFAULT
+    _ensure_builtins()
+    env = os.environ.get(ENV_VAR, "").strip()
+    if env:
+        try:
+            return get(env)
+        except BackendError as exc:
+            if not _ENV_WARNED:
+                _ENV_WARNED = True
+                warnings.warn(
+                    f"{ENV_VAR}={env!r} is not usable ({exc}); "
+                    "falling back to the 'numpy' backend",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+    return _REGISTRY["numpy"]
+
+
+def resolve(spec: Union[str, ArrayBackend, None]) -> ArrayBackend:
+    """Resolve an optional ``backend=`` argument.
+
+    Args:
+        spec: ``None`` (use :func:`default_backend`), a registered
+            name/alias, or a backend instance.
+
+    Returns:
+        The resolved :class:`ArrayBackend`.
+    """
+    if spec is None:
+        return default_backend()
+    return get(spec)

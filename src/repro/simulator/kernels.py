@@ -17,10 +17,29 @@ operating on views of the state reshaped as a ``(2,) * n`` tensor
 * arbitrary matrices fall back to :func:`apply_matrix`, a generic
   in-place ``2^k``-slice kernel (still no transpose / copy).
 
+Since the array-backend refactor, this module owns the gate
+*semantics* — named-gate dispatch, control handling, gate fusion —
+while every actual array sweep is delegated to a pluggable
+:class:`~repro.simulator.backends.ArrayBackend` (state allocation,
+slice linear combinations, elementwise diagonal multiplies,
+axis-grouped matmul).  Every public entry point accepts ``backend=``
+(a name, an instance, or ``None`` for the process default); the NumPy
+backend is the default and reproduces the pre-backend kernels
+*identically*, and an optional numba backend JIT-compiles the
+memory-bound sweeps when numba is installed.
+
 All kernels accept batched states: an array of shape ``(2^n, b...)``
 is treated as ``b`` independent states, which lets
 :mod:`repro.core.unitary` evolve a full ``2^n x 2^n`` unitary column
-batch through the same code.
+batch through the same code (and noise trajectories vectorize over the
+same batch axis).
+
+Dtype contract: states must be complex arrays.  The entry points
+raise ``TypeError`` for real/integer states instead of silently
+truncating the imaginary parts to zero (the historical behaviour was
+an all-zero state plus a ``ComplexWarning``); use
+``backend.prepare(data)`` — or ``np.asarray(data, dtype=complex)`` —
+to upcast on ingest.
 
 :func:`compile_circuit` is the gate-fusion pre-pass used by
 ``Statevector.evolve``.  It runs three stages:
@@ -45,7 +64,7 @@ sweeps than they have gates.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import cmath
 import math
@@ -53,6 +72,8 @@ import math
 import numpy as np
 
 from ..core.gates import Gate, base_matrix
+from . import backends as array_backends
+from .backends import ArrayBackend, infer_num_qubits  # noqa: F401  (re-export)
 
 #: base names whose matrix is diagonal in the computational basis.
 DIAGONAL_BASES = frozenset({"z", "s", "sdg", "t", "tdg", "rz", "p"})
@@ -90,6 +111,28 @@ BLOCK_LOOKAHEAD = 256
 
 _IDENTITY_ATOL = 1e-14
 
+#: optional backend argument accepted by every public entry point.
+BackendSpec = Union[str, ArrayBackend, None]
+
+
+def _require_complex(state: np.ndarray, where: str) -> None:
+    """Refuse non-complex states at the public kernel entry points.
+
+    The kernels update ``state`` in place, so a float64/int64 input
+    cannot be upcast here — historically such states were silently
+    corrupted (a Y gate on a float64 state produced all zeros with
+    only a ``ComplexWarning``).  Callers who hold real data should
+    upcast on ingest via ``backend.prepare(data)`` or
+    ``np.asarray(data, dtype=complex)``.
+    """
+    dtype = getattr(state, "dtype", None)
+    if dtype is None or not np.issubdtype(dtype, np.complexfloating):
+        raise TypeError(
+            f"{where} requires a complex state array (in-place kernels "
+            f"cannot widen dtype {dtype}); upcast on ingest with "
+            "backend.prepare(data) or np.asarray(data, dtype=complex)"
+        )
+
 
 @lru_cache(maxsize=1024)
 def _diag_entries(base: str, params: Tuple[float, ...]) -> Tuple[complex, complex]:
@@ -112,159 +155,17 @@ def _diag_entries(base: str, params: Tuple[float, ...]) -> Tuple[complex, comple
     raise ValueError(f"gate {base!r} is not diagonal")
 
 
-# ----------------------------------------------------------------------
-# tensor plumbing
-# ----------------------------------------------------------------------
-def infer_num_qubits(state: np.ndarray) -> int:
-    """Number of qubits of a flat or batched state array."""
-    dim = state.shape[0]
-    n = dim.bit_length() - 1
-    if 1 << n != dim:
-        raise ValueError("state length is not a power of two")
-    return n
-
-
-def _tensor(state: np.ndarray, n: int) -> np.ndarray:
-    """View of ``state`` with one axis per qubit (batch axes trail)."""
-    return state.reshape((2,) * n + state.shape[1:])
-
-
-def _subview(t: np.ndarray, n: int, controls: Sequence[int]) -> np.ndarray:
-    """View with every control axis fixed at |1>."""
-    if not controls:
-        return t
-    idx: List[object] = [slice(None)] * n
-    for c in controls:
-        idx[n - 1 - c] = 1
-    return t[tuple(idx)]
-
-
-def _axis_after_controls(qubit: int, n: int, controls: Sequence[int]) -> int:
-    """Axis of ``qubit`` inside the control subview."""
-    return (n - 1 - qubit) - sum(1 for c in controls if c > qubit)
-
-
-# ----------------------------------------------------------------------
-# elementary kernels (operate on a qubit-axis tensor view, in place)
-# ----------------------------------------------------------------------
-def _apply_1q(
-    t: np.ndarray,
-    n: int,
-    matrix: np.ndarray,
-    qubit: int,
-    controls: Sequence[int] = (),
-) -> None:
-    """Apply a 2x2 matrix to ``qubit`` within the control subspace."""
-    sub = _subview(t, n, controls)
-    ax = _axis_after_controls(qubit, n, controls)
-    i0 = (slice(None),) * ax + (0,)
-    i1 = (slice(None),) * ax + (1,)
-    a, b, c, d = matrix.ravel()
-    if b == 0 and c == 0:  # diagonal
-        if a != 1.0:
-            sub[i0] *= a
-        if d != 1.0:
-            sub[i1] *= d
-        return
-    v0 = sub[i0]
-    v1 = sub[i1]
-    if a == 0 and d == 0:  # antidiagonal (X, Y, and phased variants)
-        tmp = v0.copy()
-        sub[i0] = v1 if b == 1.0 else b * v1
-        sub[i1] = tmp if c == 1.0 else c * tmp
-        return
-    t0 = a * v0 + b * v1
-    t1 = c * v0 + d * v1
-    sub[i0] = t0
-    sub[i1] = t1
-
-
-def _apply_diag1(
-    t: np.ndarray,
-    n: int,
-    d0: complex,
-    d1: complex,
-    qubit: int,
-    controls: Sequence[int] = (),
-) -> None:
-    """Multiply the |0>/|1> slices of ``qubit`` by (d0, d1)."""
-    sub = _subview(t, n, controls)
-    ax = _axis_after_controls(qubit, n, controls)
-    if d0 != 1.0:
-        sub[(slice(None),) * ax + (0,)] *= d0
-    if d1 != 1.0:
-        sub[(slice(None),) * ax + (1,)] *= d1
-
-
-def _apply_swap(
-    t: np.ndarray,
-    n: int,
-    qubit_a: int,
-    qubit_b: int,
-    controls: Sequence[int] = (),
-) -> None:
-    """Exchange the |01> and |10> subspaces of two qubits."""
-    sub = _subview(t, n, controls)
-    ax_a = _axis_after_controls(qubit_a, n, controls)
-    ax_b = _axis_after_controls(qubit_b, n, controls)
-    idx01: List[object] = [slice(None)] * (max(ax_a, ax_b) + 1)
-    idx10 = list(idx01)
-    idx01[ax_a] = 0
-    idx01[ax_b] = 1
-    idx10[ax_a] = 1
-    idx10[ax_b] = 0
-    i01 = tuple(idx01)
-    i10 = tuple(idx10)
-    tmp = sub[i01].copy()
-    sub[i01] = sub[i10]
-    sub[i10] = tmp
-
-
-def _apply_matrix_t(
-    t: np.ndarray, n: int, matrix: np.ndarray, qubits: Sequence[int]
-) -> None:
-    """Generic in-place k-qubit kernel: one view per local basis state.
-
-    ``qubits[0]`` is the most-significant bit of the matrix's local
-    index space (matching :meth:`Gate.matrix`).
-    """
-    k = len(qubits)
-    dim = 1 << k
-    if matrix.shape != (dim, dim):
-        raise ValueError("matrix does not match qubit count")
-    if t.ndim == n:
-        # gate touches every axis: keep a trailing length-1 axis so the
-        # per-basis views stay writable arrays instead of scalars
-        t = t.reshape((2,) * n + (1,))
-    views = []
-    for basis in range(dim):
-        idx: List[object] = [slice(None)] * n
-        for j, q in enumerate(qubits):
-            idx[n - 1 - q] = (basis >> (k - 1 - j)) & 1
-        views.append(t[tuple(idx)])
-    rows = []
-    for r in range(dim):
-        acc = None
-        for c in range(dim):
-            coeff = matrix[r, c]
-            if coeff == 0:
-                continue
-            if acc is None:
-                acc = views[c] * coeff  # materializes; views stay readable
-            else:
-                acc += coeff * views[c]
-        rows.append(acc)
-    for r in range(dim):
-        if rows[r] is None:
-            views[r][...] = 0
-        else:
-            views[r][...] = rows[r]
+#: Pauli matrices for :func:`apply_pauli`'s X/Y antidiagonal paths.
+_PAULI_X = np.array([[0.0, 1.0], [1.0, 0.0]], dtype=complex)
+_PAULI_Y = np.array([[0.0, -1j], [1j, 0.0]], dtype=complex)
 
 
 # ----------------------------------------------------------------------
 # named-gate dispatch
 # ----------------------------------------------------------------------
-def _apply_named(t: np.ndarray, n: int, gate: Gate) -> bool:
+def _apply_named(
+    state: np.ndarray, n: int, gate: Gate, backend: ArrayBackend
+) -> bool:
     """Apply a named gate via its dedicated kernel; False if unknown."""
     name = gate.name
     if name in ("barrier", "id"):
@@ -274,26 +175,37 @@ def _apply_named(t: np.ndarray, n: int, gate: Gate) -> bool:
     base = gate.base_name
     if base in DIAGONAL_BASES:
         d0, d1 = _diag_entries(base, gate.params)
-        _apply_diag1(t, n, d0, d1, gate.targets[0], gate.controls)
+        backend.apply_diag1(state, n, d0, d1, gate.targets[0], gate.controls)
         return True
     if base in SINGLE_QUBIT_BASES:
-        _apply_1q(t, n, base_matrix(base, gate.params), gate.targets[0], gate.controls)
+        backend.apply_1q(
+            state, n, base_matrix(base, gate.params),
+            gate.targets[0], gate.controls,
+        )
         return True
     if base == "swap":
-        _apply_swap(t, n, gate.targets[0], gate.targets[1], gate.controls)
+        backend.apply_swap(
+            state, n, gate.targets[0], gate.targets[1], gate.controls
+        )
         return True
     return False
 
 
-def apply_gate(state: np.ndarray, gate: Gate, num_qubits: Optional[int] = None) -> bool:
+def apply_gate(
+    state: np.ndarray,
+    gate: Gate,
+    num_qubits: Optional[int] = None,
+    backend: BackendSpec = None,
+) -> bool:
     """Apply a named gate in place on a flat/batched state.
 
     Returns True if a dedicated kernel handled the gate; False means
     the caller must fall back to :func:`apply_matrix` with the dense
     gate matrix.
     """
+    _require_complex(state, "apply_gate")
     n = infer_num_qubits(state) if num_qubits is None else num_qubits
-    return _apply_named(_tensor(state, n), n, gate)
+    return _apply_named(state, n, gate, array_backends.resolve(backend))
 
 
 def apply_matrix(
@@ -301,39 +213,35 @@ def apply_matrix(
     matrix: np.ndarray,
     qubits: Sequence[int],
     num_qubits: Optional[int] = None,
+    backend: BackendSpec = None,
 ) -> None:
     """Apply an arbitrary ``2^k x 2^k`` matrix in place (dense fallback)."""
+    _require_complex(state, "apply_matrix")
     n = infer_num_qubits(state) if num_qubits is None else num_qubits
-    _apply_matrix_t(_tensor(state, n), n, np.asarray(matrix, dtype=complex), qubits)
+    array_backends.resolve(backend).apply_matrix(
+        state, n, np.asarray(matrix, dtype=complex), qubits
+    )
 
 
-def apply_pauli(state: np.ndarray, pauli: str, qubit: int, num_qubits: Optional[int] = None) -> None:
+def apply_pauli(
+    state: np.ndarray,
+    pauli: str,
+    qubit: int,
+    num_qubits: Optional[int] = None,
+    backend: BackendSpec = None,
+) -> None:
     """Apply a single Pauli X/Y/Z without building a Gate object."""
+    _require_complex(state, "apply_pauli")
     n = infer_num_qubits(state) if num_qubits is None else num_qubits
-    t = _tensor(state, n)
+    resolved = array_backends.resolve(backend)
     if pauli == "z":
-        _apply_diag1(t, n, 1.0, -1.0, qubit)
+        resolved.apply_diag1(state, n, 1.0, -1.0, qubit)
     elif pauli == "x":
-        _apply_swap_bit(t, n, qubit)
+        resolved.apply_1q(state, n, _PAULI_X, qubit)
     elif pauli == "y":
-        ax = n - 1 - qubit
-        i0 = (slice(None),) * ax + (0,)
-        i1 = (slice(None),) * ax + (1,)
-        tmp = t[i0].copy()
-        t[i0] = -1j * t[i1]
-        t[i1] = 1j * tmp
+        resolved.apply_1q(state, n, _PAULI_Y, qubit)
     else:
         raise ValueError(f"unknown Pauli {pauli!r}")
-
-
-def _apply_swap_bit(t: np.ndarray, n: int, qubit: int) -> None:
-    """Exchange the |0> and |1> slices of one qubit (an X gate)."""
-    ax = n - 1 - qubit
-    i0 = (slice(None),) * ax + (0,)
-    i1 = (slice(None),) * ax + (1,)
-    tmp = t[i0].copy()
-    t[i0] = t[i1]
-    t[i1] = tmp
 
 
 # ----------------------------------------------------------------------
@@ -436,12 +344,28 @@ _GENERIC_WEIGHT = 1.0
 
 #: minimum summed member weight for a block of f qubits to beat its
 #: members' individual kernels (one f-qubit matmul costs roughly this
-#: many generic single-qubit sweeps; measured on the dev box).
+#: many generic single-qubit sweeps; measured on the dev box to f = 6).
 _BLOCK_GAIN = {1: 0.7, 2: 1.0, 3: 1.1, 4: 1.3, 5: 1.9, 6: 3.0}
 
-_CHEAP_BASES = frozenset(
-    {"x", "y", "z", "s", "sdg", "t", "tdg", "rz", "p", "swap"}
-)
+#: per-qubit growth factor extrapolating the gain curve past f = 6
+#: (the measured tail grows ~1.5-1.6x per qubit: one more qubit
+#: doubles the matmul flops but also doubles the amplitudes each
+#: member kernel would sweep).
+_BLOCK_GAIN_GROWTH = 1.6
+
+
+def _block_gain(f: int) -> float:
+    """Break-even member weight for an ``f``-qubit fused block.
+
+    Measured values cover f <= 6; larger blocks extrapolate the curve
+    geometrically instead of returning infinity, so an oversized
+    ``block_size`` degrades predictably rather than silently disabling
+    fusion (historically ``block_size=7`` never fused anything).
+    """
+    if f in _BLOCK_GAIN:
+        return _BLOCK_GAIN[f]
+    top = max(_BLOCK_GAIN)
+    return _BLOCK_GAIN[top] * _BLOCK_GAIN_GROWTH ** (f - top)
 
 
 def _op_weight(op: CompiledOp) -> float:
@@ -463,6 +387,11 @@ def _op_weight(op: CompiledOp) -> float:
     return _GENERIC_WEIGHT
 
 
+_CHEAP_BASES = frozenset(
+    {"x", "y", "z", "s", "sdg", "t", "tdg", "rz", "p", "swap"}
+)
+
+
 def _block_matrix(
     members: List[CompiledOp], qubits_desc: Tuple[int, ...]
 ) -> np.ndarray:
@@ -470,7 +399,9 @@ def _block_matrix(
 
     The block matrix is built by evolving an identity through the same
     batched kernels, with every member remapped onto the block-local
-    qubit numbering (``qubits_desc[0]`` is the local MSB).
+    qubit numbering (``qubits_desc[0]`` is the local MSB).  Block
+    construction always runs on the NumPy backend so the compiled op
+    list is identical whichever backend later executes it.
     """
     f = len(qubits_desc)
     local = {q: f - 1 - j for j, q in enumerate(qubits_desc)}
@@ -485,7 +416,7 @@ def _block_matrix(
             qs, diag = payload
             remapped.append(("diag", (tuple(local[q] for q in qs), diag)))
     unitary = np.eye(1 << f, dtype=complex)
-    apply_ops(unitary, remapped, f)
+    apply_ops(unitary, remapped, f, backend="numpy")
     return np.ascontiguousarray(unitary)
 
 
@@ -529,7 +460,7 @@ def _fuse_blocks(ops: List[CompiledOp], max_qubits: int) -> List[CompiledOp]:
             else:
                 blocked |= qubits
         f = len(support)
-        if len(members) >= 2 and weight >= _BLOCK_GAIN.get(f, float("inf")):
+        if len(members) >= 2 and weight >= _block_gain(f):
             qubits_desc = tuple(sorted(support, reverse=True))
             out.append(("block", (qubits_desc, _block_matrix(members, qubits_desc))))
         else:
@@ -549,7 +480,9 @@ def compile_circuit(
     consecutive diagonal gates into one local diagonal of at most
     ``DIAG_FUSION_MAX_QUBITS`` qubits, and groups the remaining ops
     into matmul blocks of at most ``block_size`` qubits where that
-    wins.  With ``fuse=False`` the gates pass through one-to-one
+    wins (the break-even curve is measured to 6 qubits and
+    extrapolated geometrically beyond, so oversized block sizes still
+    fuse).  With ``fuse=False`` the gates pass through one-to-one
     (still kernel-dispatched); ``block_size=0`` disables only the
     block stage.
     """
@@ -602,56 +535,29 @@ def compile_circuit(
     return ops
 
 
-def _apply_block(
-    state: np.ndarray, t: np.ndarray, n: int, qubits_desc: Tuple[int, ...], matrix: np.ndarray
+def apply_ops(
+    state: np.ndarray,
+    ops: Sequence[CompiledOp],
+    num_qubits: Optional[int] = None,
+    backend: BackendSpec = None,
 ) -> None:
-    """Apply a fused block matrix with one BLAS matmul.
-
-    The state is reshaped so the block's qubit axes form one axis; if
-    the block's qubits are contiguous this is a pure reshape, otherwise
-    the axes are transposed next to each other first (two copies).
-    Batched states fall back to the generic slice kernel.
-    """
-    f = len(qubits_desc)
-    dim = 1 << f
-    axes = [n - 1 - q for q in qubits_desc]  # ascending
-    if t.ndim != n:  # batched (e.g. dense-unitary evolution)
-        _apply_matrix_t(t, n, matrix, qubits_desc)
-        return
-    if axes == list(range(axes[0], axes[0] + f)):
-        if axes[-1] == n - 1:
-            view = state.reshape(-1, dim)
-            view[...] = view @ matrix.T
-        else:
-            view = state.reshape(1 << axes[0], dim, -1)
-            view[...] = np.matmul(matrix, view)
-        return
-    perm = [a for a in range(n) if a not in axes] + axes
-    transposed = np.transpose(t, perm)
-    flat = np.ascontiguousarray(transposed).reshape(-1, dim)
-    transposed[...] = (flat @ matrix.T).reshape(transposed.shape)
-
-
-def apply_ops(state: np.ndarray, ops: Sequence[CompiledOp], num_qubits: Optional[int] = None) -> None:
     """Run a compiled op list in place on a flat/batched state."""
+    _require_complex(state, "apply_ops")
     n = infer_num_qubits(state) if num_qubits is None else num_qubits
-    t = _tensor(state, n)
+    resolved = array_backends.resolve(backend)
     for kind, payload in ops:
         if kind == "gate":
             gate = payload
-            if not _apply_named(t, n, gate):
-                _apply_matrix_t(t, n, gate.matrix(), gate.qubits)
+            if not _apply_named(state, n, gate, resolved):
+                resolved.apply_matrix(state, n, gate.matrix(), gate.qubits)
         elif kind == "u1":
             matrix, qubit = payload
-            _apply_1q(t, n, matrix, qubit)
+            resolved.apply_1q(state, n, matrix, qubit)
         elif kind == "diag":
             qubits, diag = payload
-            shape = [1] * t.ndim
-            for q in qubits:
-                shape[n - 1 - q] = 2
-            t *= diag.reshape(shape)
+            resolved.apply_diag(state, n, qubits, diag)
         elif kind == "block":
             qubits, matrix = payload
-            _apply_block(state, t, n, qubits, matrix)
+            resolved.apply_block(state, n, qubits, matrix)
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown compiled op kind {kind!r}")

@@ -33,6 +33,7 @@ import numpy as np
 
 from ..core.circuit import QuantumCircuit
 from ..engines.noise import NoiseModel as _NoiseModel
+from . import backends as array_backends
 from . import kernels
 from .statevector import SimulationResult, Statevector, _measured_width
 
@@ -71,9 +72,11 @@ class NoisyBackend:
         self,
         noise_model: Optional[_NoiseModel] = None,
         seed: Optional[int] = None,
+        backend=None,
     ):
         self.noise_model = noise_model or _NoiseModel.ibm_qe_2018()
         self._seed = seed
+        self._array_backend = backend
 
     def run(self, circuit: QuantumCircuit, shots: int = 1024) -> SimulationResult:
         """Execute ``circuit`` with noise for ``shots`` repetitions.
@@ -95,7 +98,7 @@ class NoisyBackend:
             for g in gates
         ]
         for _ in range(shots):
-            state = Statevector(num_qubits)
+            state = Statevector(num_qubits, backend=self._array_backend)
             creg = 0
             for gate, p_err in zip(gates, error_rates):
                 if gate.is_measurement:
@@ -114,9 +117,74 @@ class NoisyBackend:
                         if rng.random() < p_err:
                             pauli = _PAULIS[rng.integers(0, 3)]
                             kernels.apply_pauli(
-                                state.data, pauli, qubit, num_qubits
+                                state.data, pauli, qubit, num_qubits,
+                                backend=state.backend,
                             )
             counts[creg] = counts.get(creg, 0) + 1
+        return SimulationResult(counts, None, shots, _measured_width(circuit))
+
+    def run_batched(
+        self, circuit: QuantumCircuit, shots: int = 1024
+    ) -> SimulationResult:
+        """Vectorized counterpart of :meth:`run`: all shots in one batch.
+
+        The ``shots`` trajectories evolve together as one
+        ``(2**n, shots)`` array on the backend's batch axis: every gate
+        is a single batched kernel call, sampled Pauli errors are
+        scattered onto only the affected trajectory columns, and
+        measurements collapse all columns at once.  Results are
+        statistically identical to :meth:`run` but a seed does **not**
+        reproduce the looped sampler's exact counts — the vectorized
+        sampler draws its random numbers in a different order.
+        """
+        rng = np.random.default_rng(self._seed)
+        model = self.noise_model
+        num_qubits = circuit.num_qubits
+        backend = array_backends.resolve(self._array_backend)
+        gates = [g for g in circuit.gates if g.name != "barrier"]
+        error_rates = [
+            0.0 if g.is_measurement or g.name == "reset" else model.gate_error(g)
+            for g in gates
+        ]
+        state = backend.zeros(num_qubits, batch=(shots,))
+        state[0, :] = 1.0
+        creg = np.zeros(shots, dtype=np.int64)
+        for gate, p_err in zip(gates, error_rates):
+            if gate.is_measurement:
+                bits = _measure_batch(state, num_qubits, gate.targets[0], rng)
+                if model.p_meas > 0.0:
+                    bits ^= rng.random(shots) < model.p_meas
+                clbit = gate.cbits[0]
+                creg = (creg & ~(1 << clbit)) | (
+                    bits.astype(np.int64) << clbit
+                )
+                continue
+            if gate.name == "reset":
+                _reset_batch(state, num_qubits, gate.targets[0], rng)
+                continue
+            if not kernels.apply_gate(state, gate, num_qubits, backend=backend):
+                kernels.apply_matrix(
+                    state, gate.matrix(), gate.qubits, num_qubits,
+                    backend=backend,
+                )
+            if p_err > 0.0:
+                for qubit in gate.qubits:
+                    hit = rng.random(shots) < p_err
+                    if not hit.any():
+                        continue
+                    choice = rng.integers(0, 3, shots)
+                    for pidx, pauli in enumerate(_PAULIS):
+                        cols = np.nonzero(hit & (choice == pidx))[0]
+                        if cols.size == 0:
+                            continue
+                        sub = np.ascontiguousarray(state[:, cols])
+                        kernels.apply_pauli(
+                            sub, pauli, qubit, num_qubits, backend=backend
+                        )
+                        state[:, cols] = sub
+        counts: Dict[int, int] = {}
+        for value, count in zip(*np.unique(creg, return_counts=True)):
+            counts[int(value)] = int(count)
         return SimulationResult(counts, None, shots, _measured_width(circuit))
 
     def run_repeated(
@@ -139,3 +207,38 @@ class NoisyBackend:
             for outcome, count in result.counts.items():
                 probs[rep, outcome] = count / shots
         return probs.mean(axis=0), probs.std(axis=0)
+
+
+def _measure_batch(
+    state: np.ndarray, num_qubits: int, qubit: int, rng
+) -> np.ndarray:
+    """Measure ``qubit`` on every batch column, collapsing in place.
+
+    Returns the boolean outcome per column.  Columns keep unit norm;
+    degenerate branches (probability ~0) are never selected, so the
+    clipped divisors below only guard against 0/0.
+    """
+    t = state.reshape((2,) * num_qubits + (-1,))
+    axis = num_qubits - 1 - qubit
+    tm = np.moveaxis(t, axis, 0)  # view: (2, ..., shots)
+    p1 = np.abs(tm[1].reshape(-1, state.shape[-1])) ** 2
+    p1 = np.minimum(p1.sum(axis=0), 1.0)
+    bits = rng.random(p1.shape[0]) < p1
+    inv0 = np.where(bits, 0.0, 1.0 / np.sqrt(np.maximum(1.0 - p1, 1e-300)))
+    inv1 = np.where(bits, 1.0 / np.sqrt(np.maximum(p1, 1e-300)), 0.0)
+    tm[0] *= inv0
+    tm[1] *= inv1
+    return bits
+
+
+def _reset_batch(
+    state: np.ndarray, num_qubits: int, qubit: int, rng
+) -> None:
+    """Reset ``qubit`` to |0> on every batch column (measure + flip)."""
+    bits = _measure_batch(state, num_qubits, qubit, rng)
+    cols = np.nonzero(bits)[0]
+    if cols.size:
+        t = state.reshape((2,) * num_qubits + (-1,))
+        tm = np.moveaxis(t, num_qubits - 1 - qubit, 0)
+        tm[0][..., cols] = tm[1][..., cols]
+        tm[1][..., cols] = 0.0

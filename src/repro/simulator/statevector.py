@@ -52,6 +52,7 @@ import numpy as np
 
 from ..core.circuit import QuantumCircuit
 from ..core.gates import Gate
+from . import backends as array_backends
 from . import kernels
 
 
@@ -66,19 +67,27 @@ class Statevector:
     #: fall back to the dense tensordot implementation (benchmarking).
     use_kernels = True
 
-    def __init__(self, num_qubits: int, data: Optional[np.ndarray] = None):
+    def __init__(
+        self,
+        num_qubits: int,
+        data: Optional[np.ndarray] = None,
+        backend: kernels.BackendSpec = None,
+    ):
         if num_qubits < 0:
             raise ValueError("num_qubits must be non-negative")
         self.num_qubits = num_qubits
+        #: the array backend executing this state's kernels (resolved
+        #: once at construction; ``None`` picks the process default).
+        self.backend = array_backends.resolve(backend)
         dim = 1 << num_qubits
         if data is None:
-            self.data = np.zeros(dim, dtype=complex)
+            self.data = self.backend.zeros(num_qubits)
             self.data[0] = 1.0
         else:
-            data = np.asarray(data, dtype=complex)
+            data = self.backend.prepare(data)
             if data.shape != (dim,):
                 raise ValueError(f"state must have length {dim}")
-            self.data = data.copy()
+            self.data = data
 
     @classmethod
     def from_basis_state(cls, num_qubits: int, basis: int) -> "Statevector":
@@ -114,7 +123,7 @@ class Statevector:
         return state
 
     def copy(self) -> "Statevector":
-        out = Statevector(self.num_qubits, self.data)
+        out = Statevector(self.num_qubits, self.data, backend=self.backend)
         if "use_kernels" in self.__dict__:  # carry instance-level override
             out.use_kernels = self.use_kernels
         return out
@@ -132,7 +141,10 @@ class Statevector:
         if matrix.shape != (1 << k, 1 << k):
             raise ValueError("matrix does not match qubit count")
         if self.use_kernels:
-            kernels.apply_matrix(self.data, matrix, qubits, self.num_qubits)
+            kernels.apply_matrix(
+                self.data, matrix, qubits, self.num_qubits,
+                backend=self.backend,
+            )
         else:
             self._apply_matrix_dense(matrix, qubits)
 
@@ -162,7 +174,9 @@ class Statevector:
                 f"apply_gate cannot handle non-unitary {gate.name!r}"
             )
         if self.use_kernels:
-            if kernels.apply_gate(self.data, gate, self.num_qubits):
+            if kernels.apply_gate(
+                self.data, gate, self.num_qubits, backend=self.backend
+            ):
                 return
         else:
             if gate.base_name == "x" and not gate.params:
@@ -248,7 +262,9 @@ class Statevector:
     def reset_qubit(self, qubit: int, rng: np.random.Generator) -> None:
         """Measure and, if 1, flip back to |0>."""
         if self.measure_qubit(qubit, rng) == 1:
-            kernels.apply_pauli(self.data, "x", qubit, self.num_qubits)
+            kernels.apply_pauli(
+                self.data, "x", qubit, self.num_qubits, backend=self.backend
+            )
 
     def sample_counts(
         self,
@@ -298,9 +314,19 @@ def _bit_gather_counts(
 class StatevectorSimulator:
     """Shot-based simulator supporting mid-circuit measurement/reset."""
 
-    def __init__(self, seed: Optional[int] = None, fusion: bool = True):
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        fusion: bool = True,
+        backend: kernels.BackendSpec = None,
+    ):
         self._seed = seed
         self._fusion = fusion
+        self._backend = array_backends.resolve(backend)
+
+    def _fresh_state(self, num_qubits: int) -> "Statevector":
+        """A |0..0> state on this simulator's array backend."""
+        return Statevector(num_qubits, backend=self._backend)
 
     def run(
         self,
@@ -317,8 +343,8 @@ class StatevectorSimulator:
         """
         rng = np.random.default_rng(self._seed)
         if not circuit.has_measurements():
-            state = initial_state.copy() if initial_state else Statevector(
-                circuit.num_qubits
+            state = initial_state.copy() if initial_state else (
+                self._fresh_state(circuit.num_qubits)
             )
             state.evolve(circuit, fuse=self._fusion)
             return SimulationResult({}, state, shots)
@@ -326,8 +352,8 @@ class StatevectorSimulator:
         num_clbits = _measured_width(circuit)
 
         if _measurements_terminal(circuit):
-            state = initial_state.copy() if initial_state else Statevector(
-                circuit.num_qubits
+            state = initial_state.copy() if initial_state else (
+                self._fresh_state(circuit.num_qubits)
             )
             measure_map: List[Tuple[int, int]] = []
             prefix: List[Gate] = []
@@ -349,8 +375,8 @@ class StatevectorSimulator:
         # mid-circuit measurement: evolve the deterministic unitary
         # prefix once and re-simulate only the suffix per shot.
         split = _first_nonunitary_index(circuit)
-        base = initial_state.copy() if initial_state else Statevector(
-            circuit.num_qubits
+        base = initial_state.copy() if initial_state else (
+            self._fresh_state(circuit.num_qubits)
         )
         _evolve_gates(base, circuit.gates[:split], self._fusion)
         suffix = circuit.gates[split:]
@@ -375,7 +401,7 @@ class StatevectorSimulator:
 
     def statevector(self, circuit: QuantumCircuit) -> Statevector:
         """Evolve |0..0> through a unitary circuit and return the state."""
-        state = Statevector(circuit.num_qubits)
+        state = self._fresh_state(circuit.num_qubits)
         return state.evolve(circuit, fuse=self._fusion)
 
 
@@ -385,10 +411,51 @@ def _evolve_gates(
     """Apply a unitary gate list in place (fused when enabled)."""
     if state.use_kernels:
         ops = kernels.compile_circuit(gates, fuse=fusion)
-        kernels.apply_ops(state.data, ops, state.num_qubits)
+        kernels.apply_ops(
+            state.data, ops, state.num_qubits, backend=state.backend
+        )
     else:
         for gate in gates:
             state.apply_gate(gate)
+
+
+def evolve_batch(
+    circuit: QuantumCircuit,
+    states: np.ndarray,
+    fuse: bool = True,
+    backend: kernels.BackendSpec = None,
+) -> np.ndarray:
+    """Evolve a batch of states through a unitary circuit in place.
+
+    The batch is one array of shape ``(2**n, b...)`` — column ``i`` of
+    the trailing axes is an independent state — and every gate sweeps
+    the whole batch through the array backend's vectorized batch axis,
+    which is how multi-shot and noise-trajectory simulation amortize
+    gate dispatch across shots.
+
+    Args:
+        circuit: a measurement-free circuit of matching width.
+        states: the complex state batch, modified in place.
+        fuse: run the gate-fusion pre-pass (default).
+        backend: optional array backend (name, instance, or ``None``
+            for the process default).
+
+    Returns:
+        The evolved ``states`` array (the same object).
+
+    Raises:
+        SimulationError: for width mismatches or non-unitary gates.
+    """
+    if kernels.infer_num_qubits(states) != circuit.num_qubits:
+        raise SimulationError("circuit width does not match state batch")
+    for gate in circuit.gates:
+        if gate.is_measurement or gate.name == "reset":
+            raise SimulationError(
+                "evolve_batch() only handles unitary circuits"
+            )
+    ops = kernels.compile_circuit(circuit.gates, fuse=fuse)
+    kernels.apply_ops(states, ops, circuit.num_qubits, backend=backend)
+    return states
 
 
 def _first_nonunitary_index(circuit: QuantumCircuit) -> int:

@@ -1,0 +1,211 @@
+"""Differential harness for the array-backend layer.
+
+Property: whichever :class:`ArrayBackend` executes the kernels —
+NumPy, numba (when installed), fused or unfused, batched or looped —
+the amplitudes must agree to 1e-12.  The numba legs skip cleanly when
+numba is absent (the CI backend-matrix job runs one leg with numba and
+one without, so both paths stay exercised).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.circuit import QuantumCircuit
+from repro.engines.density_matrix import DensityMatrix
+from repro.engines.noise import NoiseModel
+from repro.simulator import backends as B
+from repro.simulator import kernels
+from repro.simulator.noise import NoisyBackend
+from repro.simulator.statevector import StatevectorSimulator, evolve_batch
+
+needs_numba = pytest.mark.skipif(
+    not B.NumbaBackend.available(), reason="numba not installed"
+)
+
+ATOL = 1e-12
+
+
+# ----------------------------------------------------------------------
+# strategies: random circuits over the full named-gate vocabulary
+# ----------------------------------------------------------------------
+@st.composite
+def circuits(draw, min_qubits=2, max_qubits=5):
+    n = draw(st.integers(min_qubits, max_qubits))
+    depth = draw(st.integers(1, 25))
+    rng_seed = draw(st.integers(0, 2**31))
+    import random
+
+    rng = random.Random(rng_seed)
+    circ = QuantumCircuit(n)
+    one_q = ["h", "x", "y", "z", "s", "sdg", "t", "tdg", "sx"]
+    for _ in range(depth):
+        r = rng.random()
+        if r < 0.35:
+            getattr(circ, rng.choice(one_q))(rng.randrange(n))
+        elif r < 0.55:
+            getattr(circ, rng.choice(["rx", "ry", "rz", "p"]))(
+                rng.uniform(-3.0, 3.0), rng.randrange(n)
+            )
+        elif r < 0.80:
+            a, b = rng.sample(range(n), 2)
+            getattr(circ, rng.choice(["cx", "cz", "ch", "swap"]))(a, b)
+        elif r < 0.90 and n >= 3:
+            a, b, c = rng.sample(range(n), 3)
+            circ.ccx(a, b, c)
+        else:
+            a, b = rng.sample(range(n), 2)
+            circ.crz(rng.uniform(-3.0, 3.0), a, b)
+    return circ
+
+
+def random_state(num_qubits, seed, batch=()):
+    gen = np.random.default_rng(seed)
+    shape = (1 << num_qubits,) + batch
+    data = gen.standard_normal(shape) + 1j * gen.standard_normal(shape)
+    data /= np.linalg.norm(data, axis=0)
+    return data
+
+
+def evolve_on(circ, state, backend, fuse=True):
+    out = np.array(state, dtype=complex)
+    ops = kernels.compile_circuit(circ.gates, fuse=fuse)
+    kernels.apply_ops(out, ops, circ.num_qubits, backend=backend)
+    return out
+
+
+# ----------------------------------------------------------------------
+# NumPy-only properties (always run)
+# ----------------------------------------------------------------------
+class TestNumpyProperties:
+    @given(circuits())
+    @settings(max_examples=25)
+    def test_fused_matches_unfused(self, circ):
+        state = random_state(circ.num_qubits, 7)
+        fused = evolve_on(circ, state, "numpy", fuse=True)
+        unfused = evolve_on(circ, state, "numpy", fuse=False)
+        np.testing.assert_allclose(fused, unfused, atol=ATOL)
+
+    @given(circuits())
+    @settings(max_examples=15)
+    def test_evolve_batch_matches_column_loop(self, circ):
+        n = circ.num_qubits
+        batch = random_state(n, 13, batch=(4,))
+        looped = batch.copy()
+        for col in range(4):
+            column = np.ascontiguousarray(looped[:, col])
+            kernels.apply_ops(
+                column, kernels.compile_circuit(circ.gates), n
+            )
+            looped[:, col] = column
+        batched = batch.copy()
+        evolve_batch(circ, batched)
+        np.testing.assert_allclose(batched, looped, atol=ATOL)
+
+    def test_run_batched_noiseless_matches_exact_distribution(self):
+        bell = QuantumCircuit(2, 2)
+        bell.h(0)
+        bell.cx(0, 1)
+        bell.measure(0, 0)
+        bell.measure(1, 1)
+        result = NoisyBackend(NoiseModel.noiseless(), seed=5).run_batched(
+            bell, shots=4000
+        )
+        assert set(result.counts) == {0, 3}
+        assert sum(result.counts.values()) == 4000
+        assert abs(result.counts[0] / 4000 - 0.5) < 0.05
+
+    def test_run_batched_noisy_keeps_bell_dominant(self):
+        bell = QuantumCircuit(2, 2)
+        bell.h(0)
+        bell.cx(0, 1)
+        bell.measure(0, 0)
+        bell.measure(1, 1)
+        result = NoisyBackend(NoiseModel.ibm_qe_2018(), seed=5).run_batched(
+            bell, shots=4000
+        )
+        assert sum(result.counts.values()) == 4000
+        dominant = (result.counts.get(0, 0) + result.counts.get(3, 0)) / 4000
+        assert dominant > 0.75  # QE5 rates: correct pair dominates
+
+    def test_run_batched_handles_reset_and_midcircuit_measure(self):
+        circ = QuantumCircuit(2, 2)
+        circ.h(0)
+        circ.measure(0, 0)
+        circ.reset(0)
+        circ.x(0)
+        circ.measure(0, 1)
+        result = NoisyBackend(NoiseModel.noiseless(), seed=2).run_batched(
+            circ, shots=600
+        )
+        # bit 1 is always 1 after reset + x; bit 0 is a fair coin
+        assert set(result.counts) <= {0b10, 0b11}
+        assert sum(result.counts.values()) == 600
+
+
+# ----------------------------------------------------------------------
+# numba-vs-NumPy differential (skips without numba)
+# ----------------------------------------------------------------------
+@needs_numba
+class TestNumbaDifferential:
+    @given(circuits())
+    @settings(max_examples=20, deadline=None)
+    def test_gate_vocabulary_matches(self, circ):
+        state = random_state(circ.num_qubits, 3)
+        np.testing.assert_allclose(
+            evolve_on(circ, state, "numba", fuse=False),
+            evolve_on(circ, state, "numpy", fuse=False),
+            atol=ATOL,
+        )
+
+    @given(circuits())
+    @settings(max_examples=20, deadline=None)
+    def test_fused_ops_match(self, circ):
+        state = random_state(circ.num_qubits, 9)
+        np.testing.assert_allclose(
+            evolve_on(circ, state, "numba", fuse=True),
+            evolve_on(circ, state, "numpy", fuse=True),
+            atol=ATOL,
+        )
+
+    @given(circuits(max_qubits=4))
+    @settings(max_examples=10, deadline=None)
+    def test_batched_states_match(self, circ):
+        n = circ.num_qubits
+        batch = random_state(n, 21, batch=(3,))
+        out_nb = batch.copy()
+        out_np = batch.copy()
+        evolve_batch(circ, out_nb, backend="numba")
+        evolve_batch(circ, out_np, backend="numpy")
+        np.testing.assert_allclose(out_nb, out_np, atol=ATOL)
+
+    @given(circuits(max_qubits=3))
+    @settings(max_examples=10, deadline=None)
+    def test_density_matrix_evolution_matches(self, circ):
+        rhos = {}
+        for name in ("numba", "numpy"):
+            rho = DensityMatrix(circ.num_qubits, backend=name)
+            for gate in circ.gates:
+                if gate.name != "barrier":
+                    rho.apply_gate(gate)
+            rho.apply_channel("amplitude_damping", 0.15, 0)
+            rho.apply_channel("depolarizing", 0.05, 1)
+            rhos[name] = rho.data
+        np.testing.assert_allclose(rhos["numba"], rhos["numpy"], atol=ATOL)
+
+    def test_simulator_counts_identical_across_backends(self):
+        # sampling consumes the RNG identically, so a shared seed must
+        # give byte-identical counts whichever backend evolved the state
+        circ = QuantumCircuit(3, 3)
+        circ.h(0)
+        circ.cx(0, 1)
+        circ.ccx(0, 1, 2)
+        circ.measure_all()
+        res_np = StatevectorSimulator(seed=11, backend="numpy").run(
+            circ, shots=512
+        )
+        res_nb = StatevectorSimulator(seed=11, backend="numba").run(
+            circ, shots=512
+        )
+        assert res_np.counts == res_nb.counts

@@ -72,6 +72,14 @@ class TestAsNoiseModel:
         assert as_noise_model("amplitude_damping=0.25").amplitude_damping \
             == 0.25
 
+    def test_duplicate_rate_field_rejected(self):
+        # regression: "p1=0.1,p1=0.2" used to silently keep the last
+        # value; each field may appear at most once
+        with pytest.raises(EngineError, match="duplicate noise rate 'p1'"):
+            as_noise_model("p1=0.1,p1=0.2")
+        with pytest.raises(EngineError, match="duplicate noise rate"):
+            as_noise_model("p_meas=0.01, p2=0.03, p_meas=0.02")
+
     def test_unknown_preset_lists_presets(self):
         with pytest.raises(EngineError, match="qe5"):
             as_noise_model("chernobyl")
