@@ -141,10 +141,12 @@ def test_backend_matrix(benchmark):
             rows.append(
                 (f"backend = {name}", f"best of 3 = {best * 1000:8.2f} ms")
             )
-        if "numba" not in matrix:
-            rows.append(
-                ("backend = numba", "not installed (optional) — skipped")
-            )
+        for name in ("numba", "numba_parallel"):
+            if name not in matrix:
+                rows.append(
+                    (f"backend = {name}",
+                     "not installed (optional) — skipped")
+                )
         report("CLAIM-SIM: array-backend timing matrix", rows)
         benchmark.extra_info["backend_matrix_seconds"] = {
             name: round(t, 4) for name, t in matrix.items()
@@ -152,17 +154,121 @@ def test_backend_matrix(benchmark):
         benchmark.extra_info["backend_matrix_note"] = (
             "layered_circuit(16) best-of-3 per registered array backend; "
             "numba rows appear only where the optional dependency is "
-            "installed (never a hard requirement)"
+            "installed (never a hard requirement); at n=16 "
+            "numba_parallel sits below its size threshold, so its row "
+            "must track the serial numba row"
         )
         assert "numpy" in matrix
+        # threshold-fallback gate: at 2**16 amplitudes numba_parallel
+        # delegates to the serial tier, so the two numba rows must be
+        # within 10% of each other (local real runs only, PR 1 style)
+        if (
+            benchmark.enabled
+            and not os.environ.get("CI")
+            and "numba" in matrix
+            and "numba_parallel" in matrix
+        ):
+            assert matrix["numba_parallel"] <= matrix["numba"] * 1.10, (
+                f"numba_parallel {matrix['numba_parallel']:.4f}s not "
+                f"within 10% of numba {matrix['numba']:.4f}s at n=16 — "
+                "the size-threshold fallback is not engaging"
+            )
+
+    benchmark.pedantic(_run, rounds=1, iterations=1)
+
+
+def test_parallel_sweeps(benchmark):
+    def _run():
+        """Parallel prange sweeps vs NumPy on a 22-qubit layered circuit.
+
+        Records the numba_parallel speedup on ``layered_circuit(22)``
+        (2**22 amplitudes — far above the parallel size threshold) in
+        the committed baseline.  The speedup itself is asserted only on
+        local multi-core real runs, per the PR 1 convention: CI
+        runners and single-core boxes record the numbers without
+        gating on them.
+        """
+        import numpy as np
+
+        from repro.simulator import backends as array_backends
+
+        circ = layered_circuit(22)
+        rows = [("series: layered_circuit(22), parallel vs numpy", "")]
+        timings = {}
+        reference = None
+        names = ["numpy"]
+        if "numba_parallel" in array_backends.backends():
+            names.append("numba_parallel")
+        for name in names:
+            best = float("inf")
+            final = None
+            for _ in range(2):  # best-of-2 absorbs JIT warm-up
+                sim = StatevectorSimulator(backend=name)
+                start = time.perf_counter()
+                final = sim.statevector(circ)
+                best = min(best, time.perf_counter() - start)
+            timings[name] = best
+            if reference is None:
+                reference = final
+            else:
+                assert np.allclose(final, reference, atol=1e-12), name
+            rows.append(
+                (f"backend = {name}", f"best of 2 = {best * 1000:8.2f} ms")
+            )
+        if "numba_parallel" in timings:
+            speedup = timings["numpy"] / timings["numba_parallel"]
+            rows.append(
+                ("parallel speedup", f"{speedup:5.2f}x over numpy "
+                 f"({os.cpu_count()} cores)")
+            )
+            benchmark.extra_info["parallel_speedup_22"] = round(speedup, 3)
+        else:
+            rows.append(
+                ("backend = numba_parallel",
+                 "not installed (optional) — skipped")
+            )
+        report("CLAIM-SIM: parallel sweep speedup", rows)
+        benchmark.extra_info["parallel_sweep_seconds"] = {
+            name: round(t, 4) for name, t in timings.items()
+        }
+        benchmark.extra_info["parallel_sweep_note"] = (
+            "layered_circuit(22) best-of-2; parallel_speedup_22 is "
+            "asserted > 1 only on local multi-core real runs (PR 1 "
+            "convention), recorded everywhere"
+        )
+        if (
+            benchmark.enabled
+            and not os.environ.get("CI")
+            and "numba_parallel" in timings
+            and (os.cpu_count() or 1) > 1
+        ):
+            speedup = timings["numpy"] / timings["numba_parallel"]
+            assert speedup > 1.0, (
+                f"numba_parallel only {speedup:.2f}x vs numpy at n=22 "
+                f"on {os.cpu_count()} cores"
+            )
 
     benchmark.pedantic(_run, rounds=1, iterations=1)
 
 
 def test_stabilizer_reach(benchmark):
     def _run():
-        """The Clifford engine runs widths the statevector never could."""
+        """The Clifford engine runs widths the statevector never could.
+
+        PR 10 bit-packed the tableau; the dense pre-refactor
+        implementation is kept in ``_tableau_reference`` so the speedup
+        is measured in-run rather than against a stale committed
+        number.  The reference leg stops at n=100 (its n=200 run alone
+        takes seconds), and the >=5x gate follows the PR 1 convention:
+        asserted on local real runs only, recorded everywhere.
+        """
+        from repro.simulator._tableau_reference import (
+            ReferenceStabilizerSimulator,
+        )
+
         rows = [("paper: restricted classes simulate beyond 49 qubits", "")]
+        packed_ms = {}
+        reference_ms = {}
         for n in (25, 50, 100, 200):
             circ = QuantumCircuit(n, n)
             circ.h(0)
@@ -173,15 +279,44 @@ def test_stabilizer_reach(benchmark):
             start = time.perf_counter()
             counts = StabilizerSimulator(seed=1).run(circ, shots=3)
             elapsed = time.perf_counter() - start
+            packed_ms[n] = elapsed * 1000
             rows.append(
                 (f"n = {n:3d}", f"GHZ sampled in {elapsed * 1000:8.1f} ms")
             )
             for outcome in counts:
                 assert outcome in (0, (1 << n) - 1)
+            if n <= 100:
+                start = time.perf_counter()
+                dense = ReferenceStabilizerSimulator(seed=1).run(
+                    circ, shots=3
+                )
+                reference_ms[n] = (time.perf_counter() - start) * 1000
+                assert dense == counts
+                rows.append(
+                    (f"n = {n:3d} (dense reference)",
+                     f"GHZ sampled in {reference_ms[n]:8.1f} ms")
+                )
+        speedup = reference_ms[100] / max(packed_ms[100], 1e-9)
+        rows.append(
+            ("packed speedup at n = 100", f"{speedup:7.1f}x over dense")
+        )
         report("CLAIM-SIM: stabilizer (CHP) reach", rows)
-
+        benchmark.extra_info["stabilizer_reach_ms"] = {
+            str(n): round(t, 2) for n, t in packed_ms.items()
+        }
+        benchmark.extra_info["stabilizer_reference_ms"] = {
+            str(n): round(t, 2) for n, t in reference_ms.items()
+        }
+        benchmark.extra_info["stabilizer_speedup_100"] = round(speedup, 1)
+        if benchmark.enabled and not os.environ.get("CI"):
+            assert speedup >= 5.0, (
+                f"packed tableau only {speedup:.1f}x over the dense "
+                "reference at n=100"
+            )
 
     benchmark.pedantic(_run, rounds=1, iterations=1)
+
+
 def _clifford_corpus(rng, count=6, n=4, depth=30):
     """Random Clifford circuits every engine (incl. stabilizer) can run."""
     corpus = []

@@ -11,6 +11,13 @@ sampling tolerance — asserted in
 Unlike the raw backend (which defaults to the QE5 calibration), the
 engine treats ``noise=None`` as noiseless, matching the other engines'
 convention that noise is only applied when the caller asks for it.
+
+Since PR 10 trajectory-safe models route through the backend's batched
+sweep (:meth:`NoisyBackend.run_batched`) by default: all shots evolve
+on one trailing batch axis, which is the same distribution but a
+*different RNG stream* than the per-shot loop — pass ``batched=False``
+for the historical per-shot stream, ``batched=True`` to force the
+batch even past the memory guard.
 """
 
 from __future__ import annotations
@@ -34,6 +41,10 @@ class MonteCarloEngine:
     capabilities = EngineCapabilities(max_qubits=20, noise=True, exact=False)
     aliases = ("mc", "noisy")
 
+    #: auto-batching memory guard: largest ``shots * 2**n`` complex128
+    #: batch the engine will allocate unasked (256 MiB).
+    max_batch_bytes = 1 << 28
+
     def run(
         self,
         circuit: QuantumCircuit,
@@ -53,17 +64,22 @@ class MonteCarloEngine:
                 the paper's device rates).  Damping rates are exact-
                 tier channels and are rejected here.
             seed: RNG seed for the error/measurement sampling.
-            **opts: ``backend`` selects the array backend;
-                ``batched=True`` evolves all trajectories on one batch
-                axis (statistically identical, different RNG stream).
-                Any other option raises.
+            **opts: ``backend`` selects the array backend; ``batched``
+                picks the trajectory sweep — ``None`` (default) batches
+                all shots on one axis when the model is trajectory-safe
+                and the batch fits :attr:`max_batch_bytes`,
+                ``False`` forces the historical per-shot loop,
+                ``True`` forces the batch.  The batched sweep samples
+                the same distribution but a *different RNG stream*
+                than the loop for the same seed.  Any other option
+                raises.
 
         Returns:
             The run's :class:`SimulationResult` (counts only).
         """
         reject_opts(self, opts, allowed=("backend", "batched"))
         model = noise if noise is not None else NoiseModel.noiseless()
-        if model.amplitude_damping or model.phase_damping:
+        if not model.trajectory_safe:
             raise EngineError(
                 "engine 'monte_carlo' samples Pauli/readout errors only; "
                 "amplitude/phase damping needs the exact "
@@ -74,7 +90,11 @@ class MonteCarloEngine:
         sampler = NoisyBackend(
             model, seed=seed, backend=opts.get("backend")
         )
-        if opts.get("batched", False):
+        batched = opts.get("batched")
+        if batched is None:
+            batch_bytes = shots * (1 << circuit.num_qubits) * 16
+            batched = batch_bytes <= self.max_batch_bytes
+        if batched:
             return sampler.run_batched(circuit, shots=shots)
         return sampler.run(circuit, shots=shots)
 

@@ -94,6 +94,17 @@ class NoiseModel:
             )
         )
 
+    @property
+    def trajectory_safe(self) -> bool:
+        """Whether Pauli/readout trajectory sampling is exact for us.
+
+        Damping channels are not mixtures of unitaries, so they cannot
+        be sampled as statevector trajectories and need the exact
+        ``density_matrix`` tier; everything else (depolarizing +
+        readout flips) batches safely.
+        """
+        return not (self.amplitude_damping or self.phase_damping)
+
     def scaled(self, factor: float) -> "NoiseModel":
         """Return a copy with every rate multiplied by ``factor``.
 

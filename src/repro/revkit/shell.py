@@ -97,6 +97,7 @@ class RevKitShell:
             "ps": self._cmd_ps,
             "simulate": self._cmd_simulate,
             "verify": self._cmd_verify,
+            "backends": self._cmd_backends,
         }
 
     # ------------------------------------------------------------------
@@ -372,6 +373,37 @@ class RevKitShell:
 
     def verify(self) -> str:
         return self._cmd_verify()
+
+    def _cmd_backends(self, *args: str) -> str:
+        """List the array backends and whether each is usable.
+
+        One line per backend: usable backends come from the
+        :mod:`repro.simulator.backends` registry, known builtins whose
+        accelerator dependency is missing are listed as unavailable so
+        the shell answers "why is numba_parallel not offered?" without
+        a Python probe.
+        """
+        from ..simulator import backends as array_backends
+
+        registered = array_backends.backends()
+        lines = []
+        for name in registered:
+            backend = array_backends.get(name)
+            aliases = tuple(getattr(backend, "aliases", ()))
+            alias_text = f" (aka {'/'.join(aliases)})" if aliases else ""
+            lines.append(f"{name}{alias_text}: {backend.description}")
+        for cls in array_backends._BUILTIN_CLASSES:
+            if cls.name not in registered:
+                alias_text = f" (aka {'/'.join(cls.aliases)})"
+                lines.append(
+                    f"{cls.name}{alias_text}: unavailable "
+                    "(pip install numba)"
+                )
+        return "\n".join(lines)
+
+    def backends(self) -> str:
+        """Python form of the ``backends`` shell command."""
+        return self._cmd_backends()
 
     def _cmd_write(self, format: str, *args: str) -> str:
         """Write the quantum circuit in any registered emit format.

@@ -32,7 +32,13 @@ memory-bound slice kernels when ``numba`` is importable and is never a
 hard dependency — resolving it without numba raises
 :class:`BackendUnavailable`, and selecting it through the
 ``REPRO_ARRAY_BACKEND`` environment variable degrades to NumPy with a
-single warning instead of failing.
+single warning instead of failing.  :class:`NumbaParallelBackend`
+climbs one rung further: the same sweeps (plus the fused block matmul)
+as ``prange`` multi-threaded kernels, with the thread count bounded by
+``REPRO_NUM_THREADS`` and a state-size threshold
+(:attr:`NumbaParallelBackend.parallel_threshold`) below which it
+delegates to the serial tier so thread fork/join overhead never
+regresses small registers.
 
 Selection precedence, strongest first: an explicit ``backend=``
 argument (``Statevector``/``DensityMatrix``/engine ``run`` options or
@@ -50,6 +56,9 @@ import numpy as np
 
 #: environment variable naming the process-wide default backend.
 ENV_VAR = "REPRO_ARRAY_BACKEND"
+
+#: environment variable bounding the parallel backend's thread count.
+THREADS_ENV_VAR = "REPRO_NUM_THREADS"
 
 
 class BackendError(ValueError):
@@ -450,15 +459,15 @@ class NumbaBackend(NumpyBackend):
         Raises:
             BackendUnavailable: when numba is not importable.
         """
-        if type(self)._kernels is None:
+        if NumbaBackend._kernels is None:
             kernels = _load_numba_kernels()
             if kernels is None:
                 raise BackendUnavailable(
-                    "array backend 'numba' needs the numba package "
+                    f"array backend {self.name!r} needs the numba package "
                     "(pip install numba); the 'numpy' backend is the "
                     "dependency-free default"
                 )
-            type(self)._kernels = kernels
+            NumbaBackend._kernels = kernels
 
     def _jittable(self, state: np.ndarray) -> bool:
         """True when the flat 1-D JIT loops apply to ``state``."""
@@ -506,9 +515,243 @@ class NumbaBackend(NumpyBackend):
 
 
 # ----------------------------------------------------------------------
+# the parallel numba tier — prange sweeps for wide states
+# ----------------------------------------------------------------------
+def _load_parallel_kernels():
+    """Compile the prange parallel kernels; ``None`` if numba is missing.
+
+    Every kernel partitions the flat state by iteration index, and each
+    ``prange`` iteration only ever touches the index pair (or block
+    gather set) it owns, so the loops are race-free without locks.
+    """
+    try:
+        import numba
+    except ImportError:
+        return None
+
+    jit = numba.njit(cache=False, fastmath=False, parallel=True)
+    prange = numba.prange
+
+    @jit
+    def nbp_apply_1q(data, a, b, c, d, tbit, cmask):
+        for i in prange(data.shape[0]):
+            if (i & tbit) == 0 and (i & cmask) == cmask:
+                j = i | tbit
+                v0 = data[i]
+                v1 = data[j]
+                data[i] = a * v0 + b * v1
+                data[j] = c * v0 + d * v1
+
+    @jit
+    def nbp_apply_diag1(data, d0, d1, tbit, cmask):
+        for i in prange(data.shape[0]):
+            if (i & cmask) == cmask:
+                if (i & tbit) == 0:
+                    data[i] = data[i] * d0
+                else:
+                    data[i] = data[i] * d1
+
+    @jit
+    def nbp_apply_swap(data, abit, bbit, cmask):
+        for i in prange(data.shape[0]):
+            # visit each |01>/|10> pair once, from its |01> member
+            if (i & abit) == 0 and (i & bbit) == bbit and (i & cmask) == cmask:
+                j = (i | abit) & ~bbit
+                tmp = data[i]
+                data[i] = data[j]
+                data[j] = tmp
+
+    @jit
+    def nbp_apply_diag(data, diag, qubits_desc):
+        m = qubits_desc.shape[0]
+        for i in prange(data.shape[0]):
+            local = 0
+            for j in range(m):
+                local |= ((i >> qubits_desc[j]) & 1) << (m - 1 - j)
+            data[i] = data[i] * diag[local]
+
+    @jit
+    def nbp_apply_block(data, matrix, offsets, positions):
+        # one iteration per rest-space index: expand it to the flat base
+        # index (zero bits at every block position), gather the block's
+        # 2^f amplitudes, matmul, scatter back
+        f = positions.shape[0]
+        dim = offsets.shape[0]
+        rest = data.shape[0] >> f
+        for rank in prange(rest):
+            base = rank
+            for k in range(f):
+                p = positions[k]
+                base = ((base >> p) << (p + 1)) | (base & ((1 << p) - 1))
+            vec = np.empty(dim, np.complex128)
+            for col in range(dim):
+                vec[col] = data[base + offsets[col]]
+            for row in range(dim):
+                acc = 0.0 + 0.0j
+                for col in range(dim):
+                    acc = acc + matrix[row, col] * vec[col]
+                data[base + offsets[row]] = acc
+
+    return {
+        "1q": nbp_apply_1q,
+        "diag1": nbp_apply_diag1,
+        "swap": nbp_apply_swap,
+        "diag": nbp_apply_diag,
+        "block": nbp_apply_block,
+    }
+
+
+def _block_offsets(qubits_desc: Tuple[int, ...]) -> np.ndarray:
+    """Flat-index offset of each local basis state of a fused block.
+
+    ``qubits_desc[0]`` is the most-significant bit of the local index
+    space, matching :meth:`NumpyBackend.apply_matrix`.
+    """
+    f = len(qubits_desc)
+    offsets = np.zeros(1 << f, dtype=np.int64)
+    for j, q in enumerate(qubits_desc):
+        bit = 1 << (f - 1 - j)
+        for local in range(1 << f):
+            if local & bit:
+                offsets[local] |= 1 << q
+    return offsets
+
+
+class NumbaParallelBackend(NumbaBackend):
+    """Multi-threaded ``prange`` sweeps for wide states (optional).
+
+    Re-implements the memory-bound sweeps *and* the fused block matmul
+    as ``numba.njit(parallel=True)`` kernels over the flat complex128
+    state.  Narrow states — below :attr:`parallel_threshold` elements —
+    delegate to the serial :class:`NumbaBackend` kernels (NumPy BLAS
+    for blocks), because thread fork/join costs more than the sweep
+    itself in the ≤12-qubit regime; batched/strided input inherits the
+    NumPy paths like the serial tier.
+
+    The thread count defaults to numba's; set ``REPRO_NUM_THREADS`` to
+    bound it (clamped to numba's configured maximum).  Like
+    :class:`NumbaBackend` the class is always importable and only
+    *instantiation* requires numba.
+    """
+
+    name = "numba_parallel"
+    description = "prange multi-threaded sweeps for wide states (optional)"
+    aliases = ("nbp", "parallel")
+
+    _pkernels = None
+    _threads_warned = False
+
+    #: flat state sizes below this use the serial tier (measured: the
+    #: fork/join overhead beats the sweep win under ~2**17 elements).
+    parallel_threshold = 1 << 17
+
+    #: widest fused block the gather kernel handles; larger blocks are
+    #: BLAS-bound anyway and fall back to the NumPy matmul path.
+    max_block_qubits = 8
+
+    def __init__(self):
+        """Compile serial + parallel JIT kernels once per process.
+
+        Raises:
+            BackendUnavailable: when numba is not importable (the
+                message names the package to install).
+        """
+        super().__init__()
+        if NumbaParallelBackend._pkernels is None:
+            NumbaParallelBackend._pkernels = _load_parallel_kernels()
+        self._configure_threads()
+
+    @classmethod
+    def _configure_threads(cls) -> None:
+        """Apply ``REPRO_NUM_THREADS`` to numba's thread pool."""
+        requested = os.environ.get(THREADS_ENV_VAR, "").strip()
+        if not requested:
+            return
+        try:
+            count = int(requested)
+            if count < 1:
+                raise ValueError(requested)
+        except ValueError:
+            if not cls._threads_warned:
+                cls._threads_warned = True
+                warnings.warn(
+                    f"{THREADS_ENV_VAR}={requested!r} is not a positive "
+                    "integer; using numba's default thread count",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            return
+        import numba
+
+        numba.set_num_threads(min(count, numba.config.NUMBA_NUM_THREADS))
+
+    def _parallel(self, state: np.ndarray) -> bool:
+        """True when the prange kernels should run on ``state``."""
+        return (
+            self._jittable(state)
+            and state.shape[0] >= self.parallel_threshold
+        )
+
+    def apply_1q(self, state, n, matrix, qubit, controls=()):
+        """2x2 linear combination via the parallel pair sweep."""
+        if not self._parallel(state):
+            return super().apply_1q(state, n, matrix, qubit, controls)
+        a, b, c, d = (complex(v) for v in matrix.ravel())
+        self._pkernels["1q"](
+            state, a, b, c, d, 1 << qubit, _control_mask(controls)
+        )
+
+    def apply_diag1(self, state, n, d0, d1, qubit, controls=()):
+        """Elementwise (d0, d1) multiply via the parallel sweep."""
+        if not self._parallel(state):
+            return super().apply_diag1(state, n, d0, d1, qubit, controls)
+        self._pkernels["diag1"](
+            state, complex(d0), complex(d1), 1 << qubit,
+            _control_mask(controls),
+        )
+
+    def apply_swap(self, state, n, qubit_a, qubit_b, controls=()):
+        """|01>/|10> exchange via the parallel pair sweep."""
+        if not self._parallel(state):
+            return super().apply_swap(state, n, qubit_a, qubit_b, controls)
+        self._pkernels["swap"](
+            state, 1 << qubit_a, 1 << qubit_b, _control_mask(controls)
+        )
+
+    def apply_diag(self, state, n, qubits_desc, diag):
+        """Merged multi-qubit diagonal via the parallel gather sweep."""
+        if not self._parallel(state):
+            return super().apply_diag(state, n, qubits_desc, diag)
+        self._pkernels["diag"](
+            state,
+            np.ascontiguousarray(diag, dtype=complex),
+            np.asarray(qubits_desc, dtype=np.int64),
+        )
+
+    def apply_block(self, state, n, qubits_desc, matrix):
+        """Fused block matmul as a parallel gather/matmul/scatter sweep.
+
+        New for the numba tiers: the serial backend always used the
+        BLAS reshape path for blocks.  Narrow states, batched states
+        and blocks wider than :attr:`max_block_qubits` still do.
+        """
+        if (
+            not self._parallel(state)
+            or len(qubits_desc) > self.max_block_qubits
+        ):
+            return super().apply_block(state, n, qubits_desc, matrix)
+        self._pkernels["block"](
+            state,
+            np.ascontiguousarray(matrix, dtype=complex),
+            _block_offsets(tuple(qubits_desc)),
+            np.array(sorted(qubits_desc), dtype=np.int64),
+        )
+
+
+# ----------------------------------------------------------------------
 # the registry — name -> backend, mirroring repro.emit / repro.engines
 # ----------------------------------------------------------------------
-_BUILTIN_CLASSES = (NumpyBackend, NumbaBackend)
+_BUILTIN_CLASSES = (NumpyBackend, NumbaBackend, NumbaParallelBackend)
 
 _REGISTRY: Dict[str, ArrayBackend] = {}
 _ALIASES: Dict[str, str] = {}

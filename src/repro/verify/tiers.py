@@ -235,22 +235,23 @@ def tableau_identity_failure(
         return str(exc)
     n = num_qubits
     identity = StabilizerState(n)
-    for i in range(n):
-        if (
-            state.r[i] != 0
-            or not np.array_equal(state.x[i], identity.x[i])
-            or not np.array_equal(state.z[i], identity.z[i])
-        ):
-            return f"composed circuit moves the Pauli generator X_{i}"
-    for i in range(n):
-        row = n + i
-        if (
-            state.r[row] != 0
-            or not np.array_equal(state.x[row], identity.x[row])
-            or not np.array_equal(state.z[row], identity.z[row])
-        ):
-            return f"composed circuit moves the Pauli generator Z_{i}"
-    return None
+    # Fast path: compare the packed uint64 planes wholesale; unpacking
+    # only happens on failure, to name the first generator that moved.
+    if (
+        np.array_equal(state.xs, identity.xs)
+        and np.array_equal(state.zs, identity.zs)
+        and not state.r[: 2 * n].any()
+    ):
+        return None
+    moved_rows = np.nonzero(
+        np.any(state.xs != identity.xs, axis=1)
+        | np.any(state.zs != identity.zs, axis=1)
+        | (state.r != 0)
+    )[0]
+    row = int(moved_rows[0]) if moved_rows.size else 2 * n
+    if row < n:
+        return f"composed circuit moves the Pauli generator X_{row}"
+    return f"composed circuit moves the Pauli generator Z_{row - n}"
 
 
 def clifford_equivalence_failure(

@@ -7,6 +7,8 @@ numba is absent (the CI backend-matrix job runs one leg with numba and
 one without, so both paths stay exercised).
 """
 
+from contextlib import contextmanager
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -22,6 +24,9 @@ from repro.simulator.statevector import StatevectorSimulator, evolve_batch
 
 needs_numba = pytest.mark.skipif(
     not B.NumbaBackend.available(), reason="numba not installed"
+)
+needs_numba_parallel = pytest.mark.skipif(
+    not B.NumbaParallelBackend.available(), reason="numba not installed"
 )
 
 ATOL = 1e-12
@@ -209,3 +214,119 @@ class TestNumbaDifferential:
             circ, shots=512
         )
         assert res_np.counts == res_nb.counts
+
+
+# ----------------------------------------------------------------------
+# numba_parallel-vs-NumPy differential (skips without numba)
+# ----------------------------------------------------------------------
+@contextmanager
+def forced_parallel(threshold=1):
+    """Drop the prange size threshold so small states hit the kernels.
+
+    Without this, every Hypothesis-sized state (< 2**17 amplitudes)
+    would delegate to the serial tier and the parallel kernels would
+    never be differentially exercised.
+    """
+    saved = B.NumbaParallelBackend.parallel_threshold
+    B.NumbaParallelBackend.parallel_threshold = threshold
+    try:
+        yield
+    finally:
+        B.NumbaParallelBackend.parallel_threshold = saved
+
+
+@needs_numba_parallel
+class TestNumbaParallelDifferential:
+    @given(circuits())
+    @settings(max_examples=20, deadline=None)
+    def test_gate_vocabulary_matches(self, circ):
+        state = random_state(circ.num_qubits, 3)
+        with forced_parallel():
+            out = evolve_on(circ, state, "numba_parallel", fuse=False)
+        np.testing.assert_allclose(
+            out, evolve_on(circ, state, "numpy", fuse=False), atol=ATOL
+        )
+
+    @given(circuits())
+    @settings(max_examples=20, deadline=None)
+    def test_fused_blocks_match(self, circ):
+        # fuse=True routes through apply_block — the prange
+        # gather/matmul/scatter kernel, new for the numba tiers
+        state = random_state(circ.num_qubits, 9)
+        with forced_parallel():
+            out = evolve_on(circ, state, "numba_parallel", fuse=True)
+        np.testing.assert_allclose(
+            out, evolve_on(circ, state, "numpy", fuse=True), atol=ATOL
+        )
+
+    @given(circuits(max_qubits=4))
+    @settings(max_examples=10, deadline=None)
+    def test_batched_states_match(self, circ):
+        # batched input must delegate to the NumPy paths untouched
+        n = circ.num_qubits
+        batch = random_state(n, 21, batch=(3,))
+        out_nbp = batch.copy()
+        out_np = batch.copy()
+        with forced_parallel():
+            evolve_batch(circ, out_nbp, backend="numba_parallel")
+        evolve_batch(circ, out_np, backend="numpy")
+        np.testing.assert_allclose(out_nbp, out_np, atol=ATOL)
+
+    @given(circuits(max_qubits=4))
+    @settings(max_examples=10, deadline=None)
+    def test_single_thread_leg_matches(self, circ):
+        # threads=1 exercises the prange machinery without concurrency
+        import numba
+
+        state = random_state(circ.num_qubits, 17)
+        saved = numba.get_num_threads()
+        try:
+            numba.set_num_threads(1)
+            with forced_parallel():
+                out = evolve_on(circ, state, "numba_parallel", fuse=True)
+        finally:
+            numba.set_num_threads(saved)
+        np.testing.assert_allclose(
+            out, evolve_on(circ, state, "numpy", fuse=True), atol=ATOL
+        )
+
+    def test_wide_state_crosses_real_threshold(self):
+        # 17 qubits = 2**17 amplitudes: at the default threshold this
+        # genuinely runs the parallel kernels, no monkeypatching
+        n = 17
+        assert (1 << n) >= B.NumbaParallelBackend.parallel_threshold
+        circ = QuantumCircuit(n)
+        for q in range(n):
+            circ.h(q)
+        for q in range(n - 1):
+            circ.cx(q, q + 1)
+        circ.rz(0.37, 5)
+        circ.swap(2, 11)
+        circ.ccx(0, 8, 16)
+        state = random_state(n, 29)
+        np.testing.assert_allclose(
+            evolve_on(circ, state, "numba_parallel", fuse=True),
+            evolve_on(circ, state, "numpy", fuse=True),
+            atol=ATOL,
+        )
+
+    def test_below_threshold_delegates_to_serial_tier(self):
+        # the fallback rule itself: narrow states never hit prange
+        backend = B.get("numba_parallel")
+        state = random_state(8, 5)
+        assert not backend._parallel(np.array(state, dtype=complex))
+
+    def test_simulator_counts_identical_across_backends(self):
+        circ = QuantumCircuit(3, 3)
+        circ.h(0)
+        circ.cx(0, 1)
+        circ.ccx(0, 1, 2)
+        circ.measure_all()
+        with forced_parallel():
+            res_nbp = StatevectorSimulator(
+                seed=11, backend="numba_parallel"
+            ).run(circ, shots=512)
+        res_np = StatevectorSimulator(seed=11, backend="numpy").run(
+            circ, shots=512
+        )
+        assert res_np.counts == res_nbp.counts

@@ -203,6 +203,77 @@ class TestRegistry:
 
 
 # ----------------------------------------------------------------------
+# the parallel numba tier: registry semantics + threshold + threads env
+# ----------------------------------------------------------------------
+class TestNumbaParallelRegistry:
+    def test_resolution(self):
+        # same contract as the serial tier: the name always resolves,
+        # to the backend when numba is present and to a clear
+        # BackendUnavailable naming the package when it is not
+        if B.NumbaParallelBackend.available():
+            backend = B.get("numba_parallel")
+            assert backend.name == "numba_parallel"
+            assert B.get("nbp") is backend
+            assert B.get("parallel") is backend
+        else:
+            for spec in ("numba_parallel", "nbp", "parallel"):
+                with pytest.raises(
+                    B.BackendUnavailable, match="numba_parallel"
+                ):
+                    B.get(spec)
+            with pytest.raises(B.BackendUnavailable, match="pip install"):
+                B.NumbaParallelBackend()
+
+    def test_env_selection_degrades_with_one_warning(
+        self, clean_default, monkeypatch
+    ):
+        if B.NumbaParallelBackend.available():
+            pytest.skip("numba installed: env selection succeeds")
+        monkeypatch.setenv(B.ENV_VAR, "parallel")
+        with pytest.warns(RuntimeWarning, match="numba_parallel"):
+            assert B.default_backend().name == "numpy"
+
+    def test_threshold_keeps_small_registers_serial(self):
+        # the ≤12-qubit regime must never pay thread fork/join costs
+        assert B.NumbaParallelBackend.parallel_threshold > (1 << 12)
+
+    def test_threads_env_invalid_value_warns_once(self, monkeypatch):
+        monkeypatch.setenv(B.THREADS_ENV_VAR, "zero-ish")
+        monkeypatch.setattr(
+            B.NumbaParallelBackend, "_threads_warned", False
+        )
+        with pytest.warns(RuntimeWarning, match="REPRO_NUM_THREADS"):
+            B.NumbaParallelBackend._configure_threads()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # second call: no warning
+            B.NumbaParallelBackend._configure_threads()
+
+    def test_threads_env_unset_is_a_noop(self, monkeypatch):
+        monkeypatch.delenv(B.THREADS_ENV_VAR, raising=False)
+        B.NumbaParallelBackend._configure_threads()
+
+    def test_threads_env_bounds_thread_count(self, monkeypatch):
+        if not B.NumbaParallelBackend.available():
+            pytest.skip("numba not installed")
+        import numba
+
+        saved = numba.get_num_threads()
+        try:
+            monkeypatch.setenv(B.THREADS_ENV_VAR, "1")
+            B.NumbaParallelBackend._configure_threads()
+            assert numba.get_num_threads() == 1
+        finally:
+            numba.set_num_threads(saved)
+
+    def test_block_offsets_msb_convention(self):
+        # qubits_desc[0] is the MSB of the local index space, matching
+        # apply_matrix; offsets are the flat-index contributions
+        offsets = B._block_offsets((3, 1))
+        assert offsets.tolist() == [0, 2, 8, 10]
+        assert B._block_offsets((0,)).tolist() == [0, 1]
+
+
+# ----------------------------------------------------------------------
 # default selection precedence
 # ----------------------------------------------------------------------
 class TestDefaultSelection:
